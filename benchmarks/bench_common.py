@@ -1,0 +1,26 @@
+"""Shared constants and helpers for the benchmark harness (imported by the bench modules)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+
+#: corpus/evaluation parameters used by every benchmark (see conftest docstring)
+BENCH_SEED = 42
+BENCH_DOCS_PER_LANGUAGE = 120
+BENCH_WORDS_PER_DOCUMENT = 250
+BENCH_TRAIN_FRACTION = 0.10
+BENCH_PROFILE_SIZE = 5000
+BENCH_RELATED_BLEND = 0.23
+BENCH_BOILERPLATE_FRACTION = 0.10
+BENCH_BOILERPLATE_EXTRA = 0.12
+
+#: the paper's corpus-scale facts used by the system-level benchmarks
+PAPER_CORPUS_BYTES = 484_000_000
+PAPER_CORPUS_DOCUMENTS = 52_581
+PAPER_AVERAGE_DOCUMENT_BYTES = PAPER_CORPUS_BYTES // PAPER_CORPUS_DOCUMENTS
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print a paper-style table (captured by pytest -s or the benchmark log)."""
+    print()
+    print(format_table(headers, rows, title=title))

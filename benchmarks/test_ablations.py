@@ -1,0 +1,134 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: hash-family choice, HAIL-style n-gram
+subsampling (Section 5.2 mentions it as a capacity doubler), profile size t, n-gram
+order n, and the parallel-vs-classic Bloom filter organisation.
+"""
+
+import pytest
+
+from repro.analysis.sweep import (
+    sweep_hash_families,
+    sweep_ngram_order,
+    sweep_profile_size,
+    sweep_subsampling,
+)
+from repro.core.bloom import BloomFilter, ParallelBloomFilter
+from repro.core.fpr import false_positive_rate, false_positive_rate_classic
+
+from bench_common import print_table
+
+
+def test_ablation_hash_family(benchmark, bench_train, bench_test):
+    """Accuracy is a property of (m, k), not of the particular hardware-friendly family."""
+    rows = benchmark.pedantic(
+        lambda: sweep_hash_families(
+            bench_train, bench_test, families=("h3", "multiply-shift", "fnv1a", "tabulation"),
+            m_kbits=8, k=4, t=5000,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Ablation: hash family at m=8 Kbit, k=4",
+        ("family", "average accuracy"),
+        [(row.label, f"{100 * row.average_accuracy:.2f}%") for row in rows],
+    )
+    accuracies = [row.average_accuracy for row in rows]
+    assert max(accuracies) - min(accuracies) < 0.02
+    assert min(accuracies) > 0.93
+
+
+def test_ablation_subsampling(benchmark, bench_train, bench_test):
+    """Testing every other n-gram (HAIL's trick) costs little accuracy."""
+    rows = benchmark.pedantic(
+        lambda: sweep_subsampling(bench_train, bench_test, strides=(1, 2, 4), m_kbits=16, k=4, t=5000),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Ablation: n-gram subsampling stride at m=16 Kbit, k=4",
+        ("stride", "average accuracy"),
+        [(row.label, f"{100 * row.average_accuracy:.2f}%") for row in rows],
+    )
+    full, half, quarter = (row.average_accuracy for row in rows)
+    # stride 2 keeps "satisfactory accuracy" (the paper's capacity-doubling trick);
+    # our synthetic documents are ~5x shorter than JRC-Acquis documents, so the
+    # subsampling penalty is proportionally larger than in the paper but still small.
+    assert half > full - 0.05
+    assert quarter > full - 0.10
+    assert full >= max(half, quarter) - 1e-9
+
+
+def test_ablation_profile_size(benchmark, bench_train, bench_test):
+    """Profile size t: too-small profiles lose accuracy; t=5000 sits on the plateau."""
+    rows = benchmark.pedantic(
+        lambda: sweep_profile_size(bench_train, bench_test, sizes=(250, 1000, 5000), m_kbits=16, k=4),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Ablation: profile size t at m=16 Kbit, k=4",
+        ("t", "average accuracy"),
+        [(row.label, f"{100 * row.average_accuracy:.2f}%") for row in rows],
+    )
+    tiny, medium, paper_sized = (row.average_accuracy for row in rows)
+    # All profile sizes classify well on the synthetic corpus; t=5000 sits on the
+    # plateau (within 1.5 % of the best size).  On real corpora very small profiles
+    # lose recall on short/unusual documents, which the synthetic generator does not
+    # fully reproduce; the trend of interest here is "nothing catastrophic happens
+    # between t=250 and t=5000", matching the paper's reliance on HAIL's t=5000 result.
+    assert paper_sized > 0.95
+    assert medium > 0.95
+    assert paper_sized >= max(tiny, medium, paper_sized) - 0.015
+
+
+def test_ablation_ngram_order(benchmark, bench_train, bench_test):
+    """N-gram order: 3- and 4-grams both work well; the paper's n=4 is on the plateau."""
+    rows = benchmark.pedantic(
+        lambda: sweep_ngram_order(bench_train, bench_test, orders=(2, 3, 4), m_kbits=16, k=4, t=5000),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Ablation: n-gram order at m=16 Kbit, k=4",
+        ("n", "average accuracy"),
+        [(row.label, f"{100 * row.average_accuracy:.2f}%") for row in rows],
+    )
+    by_label = {row.label: row.average_accuracy for row in rows}
+    assert by_label["n=4"] >= by_label["n=2"] - 0.01
+    assert by_label["n=4"] > 0.95
+
+
+def test_ablation_filter_organisation(benchmark):
+    """Parallel (per-hash vectors) vs classic (shared vector) at equal per-vector size.
+
+    For the same per-vector size the parallel organisation has the lower false-positive
+    rate (each vector absorbs N insertions instead of kN), which is exactly why it maps
+    so well onto many small embedded RAMs.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    members = np.unique(rng.integers(0, 1 << 20, size=5000, dtype=np.uint64))
+    probes = rng.integers(0, 1 << 20, size=40_000, dtype=np.uint64)
+    probes = probes[~np.isin(probes, members)]
+
+    def measure():
+        parallel = ParallelBloomFilter(m_bits=8192, k=3, seed=1)
+        classic = BloomFilter(m_bits=8192, k=3, seed=1)
+        parallel.add_many(members)
+        classic.add_many(members)
+        return (
+            float(parallel.contains_many(probes).mean()),
+            float(classic.contains_many(probes).mean()),
+        )
+
+    parallel_rate, classic_rate = benchmark(measure)
+    print_table(
+        "Ablation: filter organisation at m=8 Kbit per vector, k=3, N=5000",
+        ("organisation", "measured FPR", "model FPR"),
+        [
+            ("parallel (paper)", round(parallel_rate, 4), round(false_positive_rate(members.size, 8192, 3), 4)),
+            ("classic shared vector", round(classic_rate, 4), round(false_positive_rate_classic(members.size, 8192, 3), 4)),
+        ],
+    )
+    assert parallel_rate < classic_rate
+    assert parallel_rate == pytest.approx(false_positive_rate(members.size, 8192, 3), rel=0.15)
+    assert classic_rate == pytest.approx(false_positive_rate_classic(members.size, 8192, 3), rel=0.15)

@@ -1,0 +1,69 @@
+"""In-text §3.1/§5.2 — the analytical false-positive model versus realised filters.
+
+The paper designs its filters with ``f = (1 - e^{-N/m})^k`` and notes the expected
+rate "is five in one thousand" for the deployed configuration.  This benchmark
+programs real Parallel Bloom Filters with 5 000-entry profiles and measures the
+realised false-positive rate against the model across the whole Table 1 grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import ParallelBloomFilter
+from repro.core.fpr import (
+    PAPER_TABLE1_FP_PER_THOUSAND,
+    false_positive_rate,
+    memory_bits_per_language,
+    required_bits_per_vector,
+)
+
+from bench_common import print_table
+
+
+@pytest.fixture(scope="module")
+def programmed_profile():
+    rng = np.random.default_rng(3)
+    return np.unique(rng.integers(0, 1 << 20, size=5000, dtype=np.uint64))[:5000]
+
+
+def test_fpr_model_vs_measured_filters(benchmark, programmed_profile):
+    """Measured FPR of real filters tracks the analytic model across the Table 1 grid."""
+    rng = np.random.default_rng(11)
+    probes = rng.integers(0, 1 << 20, size=60_000, dtype=np.uint64)
+    probes = probes[~np.isin(probes, programmed_profile)]
+
+    def measure_grid():
+        results = {}
+        for (m_kbits, k) in PAPER_TABLE1_FP_PER_THOUSAND:
+            filt = ParallelBloomFilter(m_bits=m_kbits * 1024, k=k, seed=5)
+            filt.add_many(programmed_profile)
+            results[(m_kbits, k)] = float(filt.contains_many(probes).mean())
+        return results
+
+    measured = benchmark(measure_grid)
+
+    rows = []
+    for (m_kbits, k), rate in measured.items():
+        model = false_positive_rate(programmed_profile.size, m_kbits * 1024, k)
+        rows.append((m_kbits, k, round(1000 * model, 1), round(1000 * rate, 1),
+                     PAPER_TABLE1_FP_PER_THOUSAND[(m_kbits, k)]))
+        assert rate == pytest.approx(model, rel=0.12, abs=0.0015)
+    print_table(
+        "False positives per thousand: model vs measured filters vs paper",
+        ("m (Kbits)", "k", "model", "measured", "paper"),
+        rows,
+    )
+
+
+def test_space_efficient_configuration_claim():
+    """Section 5.2: >99 % accuracy retained at just 24 Kbit per language (k=6, m=4 Kbit)."""
+    assert memory_bits_per_language(4 * 1024, 6) == 24 * 1024
+    # its false-positive rate is ~12 %, far below the ~50 % that one 4 Kbit vector alone gives
+    assert false_positive_rate(5000, 4 * 1024, 6) < 0.13
+    assert false_positive_rate(5000, 4 * 1024, 1) > 0.5
+
+
+def test_sizing_helper_reaches_paper_design_point():
+    """Inverting the model at the paper's 5/1000 target lands near m = 16 Kbit for k = 4."""
+    m = required_bits_per_vector(5000, 4, 0.005)
+    assert 14_000 < m <= 16_384

@@ -1,0 +1,64 @@
+"""In-text §5.4/§5.5 — theoretical peak, programming amortisation and speedup claims."""
+
+import pytest
+
+from repro.hardware.resources import estimate_device_utilization
+from repro.hardware.timing import EngineTiming, peak_ngrams_per_second
+from repro.system.host import AsynchronousHostDriver, SynchronousHostDriver
+from repro.system.hypertransport import HyperTransportLink
+
+from bench_common import PAPER_AVERAGE_DOCUMENT_BYTES, print_table
+
+
+def test_theoretical_peak_rate(benchmark):
+    """194 MHz x 8 n-grams/clock = 1,552 M n-grams/s = ~1.4 GB/s (Section 5.4)."""
+    rate = benchmark(lambda: peak_ngrams_per_second(194.0, 8))
+    timing = EngineTiming(frequency_mhz=194.0, ngrams_per_clock=8)
+    print_table(
+        "Theoretical engine peak",
+        ("quantity", "ours", "paper"),
+        [
+            ("n-grams per second (millions)", round(rate / 1e6), 1552),
+            ("peak throughput (GB/s)", round(timing.peak_gb_per_second, 2), 1.4),
+        ],
+    )
+    assert rate == pytest.approx(1.552e9)
+    assert timing.peak_gb_per_second >= 1.4
+    # within the HyperTransport peak of 1.6 GB/s, as the paper notes
+    assert timing.peak_gb_per_second < HyperTransportLink().peak_bandwidth_gb
+
+
+def test_engine_is_not_the_bottleneck():
+    """The engine drains 8 bytes/cycle, far above what the 500 MB/s link can deliver."""
+    timing = EngineTiming(frequency_mhz=194.0, ngrams_per_clock=8)
+    link = HyperTransportLink()
+    doc = PAPER_AVERAGE_DOCUMENT_BYTES
+    assert timing.seconds_for_bytes(doc) < link.bulk_transfer_seconds(doc) / 2
+
+
+def test_frequency_comes_from_the_deployed_build():
+    """The 10-language conservative build places and routes at ~194 MHz (Table 3)."""
+    estimate = estimate_device_utilization(16 * 1024, 4, 10)
+    assert estimate.fmax_mhz == pytest.approx(194, rel=0.06)
+
+
+def test_programming_time_amortisation(benchmark):
+    """Programming ten 5000-entry profiles costs ~0.25 s and is amortised over large runs."""
+    driver = AsynchronousHostDriver()
+    programming = benchmark(lambda: driver.programming_seconds(10 * 5000 * 4))
+    assert programming == pytest.approx(0.25, rel=0.02)
+    # over the paper's 484 MB corpus this is the 470 -> 378 MB/s drop; over a 10x larger
+    # corpus the drop nearly vanishes, which is the paper's amortisation argument.
+    small_run = 484e6 / (484e6 / 470e6 + programming) / 1e6
+    large_run = 4840e6 / (4840e6 / 470e6 + programming) / 1e6
+    assert small_run == pytest.approx(378, rel=0.05)
+    assert large_run > 455
+
+
+def test_synchronisation_penalty_claim():
+    """'Interrupt based synchronization produces detrimental performance' — about 2x."""
+    sync = SynchronousHostDriver()
+    asynchronous = AsynchronousHostDriver()
+    doc = PAPER_AVERAGE_DOCUMENT_BYTES
+    ratio = sync.document_seconds(doc).total / asynchronous.document_seconds(doc).total
+    assert ratio == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,125 @@
+"""Table 1 — classification accuracy vs Bloom filter parameters.
+
+Paper values (10 languages, t = 5000, JRC-Acquis):
+
+    m (Kbits)  k   FP/1000   average accuracy
+    16         4   5         99.45 %
+    16         3   18        97.42 %
+    16         2   69        97.31 %
+    8          4   44        99.42 %
+    8          3   95        97.22 %
+    8          2   209       95.57 %
+    4          6   123       99.41 %
+    4          5   174       96.44 %
+
+We reproduce (a) the false-positive column exactly (it is analytic once the profile
+size is 5 000), (b) the accuracy ordering — the conservative configurations stay
+near the ceiling and the highest-FP configurations lose the most accuracy — with a
+smaller absolute spread on the synthetic corpus (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.sweep import PAPER_TABLE1_GRID, sweep_bloom_parameters
+from repro.core.fpr import PAPER_TABLE1_FP_PER_THOUSAND
+
+from bench_common import BENCH_PROFILE_SIZE, print_table
+
+#: paper accuracy column, for the printed comparison
+PAPER_ACCURACY = {
+    (16, 4): 99.45,
+    (16, 3): 97.42,
+    (16, 2): 97.31,
+    (8, 4): 99.42,
+    (8, 3): 97.22,
+    (8, 2): 95.57,
+    (4, 6): 99.41,
+    (4, 5): 96.44,
+}
+
+
+@pytest.fixture(scope="module")
+def table1_rows(bench_train, bench_test):
+    return sweep_bloom_parameters(
+        bench_train,
+        bench_test,
+        grid=PAPER_TABLE1_GRID,
+        t=BENCH_PROFILE_SIZE,
+        seed=0,
+        fpr_sample_size=8000,
+    )
+
+
+def test_table1_sweep(benchmark, bench_train, bench_test, table1_rows):
+    """Regenerate Table 1 and check its qualitative structure."""
+
+    def single_configuration():
+        return sweep_bloom_parameters(
+            bench_train, bench_test, grid=[(16, 4)], t=BENCH_PROFILE_SIZE, seed=0,
+            fpr_sample_size=2000,
+        )
+
+    benchmark(single_configuration)
+
+    rows = table1_rows
+    printable = []
+    for row in rows:
+        printable.append(
+            (
+                row.m_kbits,
+                row.k,
+                PAPER_TABLE1_FP_PER_THOUSAND[(row.m_kbits, row.k)],
+                round(row.expected_fp_per_thousand, 1),
+                round(row.measured_fp_per_thousand, 1),
+                f"{100 * row.average_accuracy:.2f}%",
+                f"{PAPER_ACCURACY[(row.m_kbits, row.k)]:.2f}%",
+            )
+        )
+    print_table(
+        "Table 1: accuracy vs Bloom filter parameters (reproduction vs paper)",
+        ("m (Kbits)", "k", "FP/1000 paper", "FP/1000 model", "FP/1000 measured",
+         "accuracy (ours)", "accuracy (paper)"),
+        printable,
+    )
+
+    by_config = {(row.m_kbits, row.k): row for row in rows}
+
+    # (a) the analytic FP/1000 column reproduces the paper's numbers exactly
+    for (m_kbits, k), paper_fp in PAPER_TABLE1_FP_PER_THOUSAND.items():
+        assert round(by_config[(m_kbits, k)].expected_fp_per_thousand) == paper_fp
+
+    # (b) the realised filter FPR tracks the analytic model
+    for row in rows:
+        assert row.measured_fp_per_thousand == pytest.approx(
+            row.expected_fp_per_thousand, rel=0.25, abs=3.0
+        )
+
+    # (c) every configuration stays usefully accurate (paper: 95.5-99.5 %)
+    for row in rows:
+        assert row.average_accuracy > 0.93
+
+    # (d) the conservative configuration is the most accurate (ties allowed), and the
+    #     highest-FP configuration (m=8, k=2) loses the most accuracy
+    best = by_config[(16, 4)].average_accuracy
+    worst = by_config[(8, 2)].average_accuracy
+    assert best == max(row.average_accuracy for row in rows)
+    assert worst <= min(by_config[(16, 4)].average_accuracy, by_config[(8, 4)].average_accuracy)
+    assert best - worst > 0.002
+
+
+def test_table1_confusions_follow_related_pairs(table1_rows):
+    """Section 5.2: es→pt and et→fi style confusions dominate the error mass."""
+    related = {
+        frozenset({"es", "pt"}),
+        frozenset({"cs", "sk"}),
+        frozenset({"fi", "et"}),
+        frozenset({"da", "sv"}),
+    }
+    worst_row = min(table1_rows, key=lambda row: row.average_accuracy)
+    confusions = worst_row.report.confusion_as_dict()
+    assert confusions, "expected at least some errors in the highest-FP configuration"
+    related_errors = sum(
+        count for (gold, predicted), count in confusions.items()
+        if frozenset({gold, predicted}) in related
+    )
+    assert related_errors / sum(confusions.values()) >= 0.6

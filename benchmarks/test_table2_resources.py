@@ -1,0 +1,65 @@
+"""Table 2 — resource utilisation of the classifier module (2 languages, 8 n-grams/clock).
+
+The M4K column is reproduced exactly by the closed-form block accounting; logic,
+registers and fmax come from the calibrated affine model and stay within a few
+percent of the published Quartus results.
+"""
+
+import pytest
+
+from repro.hardware.resources import PAPER_TABLE2, estimate_classifier_resources, m4k_count
+
+from bench_common import print_table
+
+
+def test_table2_resource_model(benchmark):
+    """Regenerate Table 2 and compare the model to the paper row by row."""
+
+    def estimate_all():
+        return {
+            (m_kbits, k): estimate_classifier_resources(m_kbits * 1024, k)
+            for (m_kbits, k) in PAPER_TABLE2
+        }
+
+    estimates = benchmark(estimate_all)
+
+    rows = []
+    for (m_kbits, k), paper in PAPER_TABLE2.items():
+        est = estimates[(m_kbits, k)]
+        rows.append(
+            (
+                m_kbits, k,
+                est.logic, int(paper["logic"]),
+                est.registers, int(paper["registers"]),
+                est.m4k_blocks, int(paper["m4k"]),
+                est.fmax_mhz, paper["fmax_mhz"],
+            )
+        )
+    print_table(
+        "Table 2: classifier module resources (model vs paper)",
+        ("m (Kbits)", "k", "logic", "logic paper", "regs", "regs paper",
+         "M4K", "M4K paper", "fmax", "fmax paper"),
+        rows,
+    )
+
+    for (m_kbits, k), paper in PAPER_TABLE2.items():
+        est = estimates[(m_kbits, k)]
+        assert est.m4k_blocks == paper["m4k"]
+        assert est.logic == pytest.approx(paper["logic"], rel=0.05)
+        assert est.registers == pytest.approx(paper["registers"], rel=0.05)
+        assert est.fmax_mhz == pytest.approx(paper["fmax_mhz"], rel=0.03)
+
+
+def test_table2_m4k_closed_form(benchmark):
+    """The embedded-RAM accounting is exact: copies x k x ceil(m/4096) x languages."""
+    result = benchmark(lambda: [m4k_count(m * 1024, k, 2, 4) for (m, k) in PAPER_TABLE2])
+    assert result == [int(PAPER_TABLE2[key]["m4k"]) for key in PAPER_TABLE2]
+
+
+def test_table2_tradeoff_directions():
+    """Smaller vectors / fewer hashes reduce logic and raise fmax (Section 5.2)."""
+    conservative = estimate_classifier_resources(16 * 1024, 4)
+    lean = estimate_classifier_resources(8 * 1024, 2)
+    assert lean.logic < conservative.logic
+    assert lean.m4k_blocks < conservative.m4k_blocks
+    assert lean.fmax_mhz > conservative.fmax_mhz

@@ -1,0 +1,84 @@
+"""Table 3 — device utilisation of the two final builds (10 and 30 languages).
+
+Paper values (EP2S180, including ~10 % infrastructure):
+
+    k, m           languages  logic   registers  M512  M4K  M-RAM  MHz
+    4, 16 Kbits    10         38,891  27,889     36    680  9      194
+    6, 4 Kbits     30         85,924  68,423     66    768  6      170
+"""
+
+import pytest
+
+from repro.hardware.device import STRATIX_II_EP2S180
+from repro.hardware.resources import (
+    PAPER_TABLE3,
+    estimate_device_utilization,
+    max_supported_languages,
+)
+
+from bench_common import print_table
+
+
+def test_table3_device_utilisation(benchmark):
+    """Regenerate Table 3 from the calibrated whole-system model."""
+
+    def estimate_all():
+        return {
+            key: estimate_device_utilization(key[0] * 1024, key[1], key[2])
+            for key in PAPER_TABLE3
+        }
+
+    estimates = benchmark(estimate_all)
+
+    rows = []
+    for (m_kbits, k, languages), paper in PAPER_TABLE3.items():
+        est = estimates[(m_kbits, k, languages)]
+        rows.append(
+            (
+                f"{k}, {m_kbits} Kbits", languages,
+                est.logic, int(paper["logic"]),
+                est.registers, int(paper["registers"]),
+                est.m512_blocks, int(paper["m512"]),
+                est.m4k_blocks, int(paper["m4k"]),
+                est.fmax_mhz, paper["fmax_mhz"],
+            )
+        )
+    print_table(
+        "Table 3: device utilisation of the final builds (model vs paper)",
+        ("k, m", "langs", "logic", "logic paper", "regs", "regs paper",
+         "M512", "M512 paper", "M4K", "M4K paper", "fmax", "fmax paper"),
+        rows,
+    )
+
+    for key, paper in PAPER_TABLE3.items():
+        est = estimates[key]
+        assert est.logic == pytest.approx(paper["logic"], rel=0.02)
+        assert est.registers == pytest.approx(paper["registers"], rel=0.02)
+        assert abs(est.m4k_blocks - paper["m4k"]) <= 8
+        assert est.m512_blocks == pytest.approx(paper["m512"], abs=16)
+        assert est.fmax_mhz == pytest.approx(paper["fmax_mhz"], rel=0.15)
+        assert est.usage().fits()
+
+
+def test_table3_utilisation_claims():
+    """Section 5.3: logic between a third and two-thirds; M4Ks are the limiting factor."""
+    fractions = []
+    m4k_fractions = []
+    for (m_kbits, k, languages) in PAPER_TABLE3:
+        est = estimate_device_utilization(m_kbits * 1024, k, languages)
+        usage = est.usage()
+        fractions.append(usage.logic_utilization)
+        m4k_fractions.append(usage.m4k_utilization)
+    assert min(fractions) > 0.25 and max(fractions) < 0.67
+    assert max(m4k_fractions) > 0.85  # embedded RAM is (nearly) exhausted first
+
+
+def test_table3_language_capacity(benchmark):
+    """Section 5.2's capacity claims: ~12 languages at (16 Kbit, k=4), 30 at (4 Kbit, k=6)."""
+    result = benchmark(
+        lambda: (
+            max_supported_languages(16 * 1024, 4, STRATIX_II_EP2S180),
+            max_supported_languages(4 * 1024, 6, STRATIX_II_EP2S180, reserved_m4ks=48),
+        )
+    )
+    assert result == (12, 30)

@@ -1,0 +1,79 @@
+"""Table 4 — comparison of n-gram based language classifiers.
+
+Paper values:
+
+    System        Type                          Throughput
+    Mguesser      AMD Opteron workstation       5.5 MB/s
+    HAIL          Xilinx XCV2000E-8 FPGA        324 MB/s
+    BloomFilter   Altera EP2S180 FPGA           470 MB/s
+
+plus the headline ratios: the Bloom-filter design is 85x the software baseline and
+1.45x HAIL at the realised 470 MB/s, and would be 260x / 4.4x at the 1.4 GB/s
+engine peak once the host link stops being the bottleneck (Section 5.5).
+"""
+
+import pytest
+
+from repro.baselines.hail import HAIL_PAPER_THROUGHPUT_MB_S, HailTimingModel
+from repro.baselines.mguesser import MGUESSER_PAPER_THROUGHPUT_MB_S, MguesserClassifier
+from repro.hardware.timing import peak_throughput_mb_per_second
+from repro.system.xd1000 import XD1000System
+
+from bench_common import PAPER_AVERAGE_DOCUMENT_BYTES, print_table
+
+
+@pytest.fixture(scope="module")
+def bloom_system(bench_profiles):
+    machine = XD1000System(m_bits=16 * 1024, k=4, t=5000, seed=0)
+    machine.program_profiles(bench_profiles)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def bloom_throughput_mb_s(bloom_system):
+    sizes = [PAPER_AVERAGE_DOCUMENT_BYTES] * 5000
+    return bloom_system.throughput_for_sizes(sizes, driver="asynchronous").throughput_mb_s
+
+
+def test_table4_comparison(benchmark, bench_train, bench_test, bloom_throughput_mb_s):
+    """Regenerate Table 4: modelled hardware throughputs plus the measured Python baseline."""
+    mguesser = MguesserClassifier(order=4, profile_size=5000)
+    mguesser.fit(bench_train)
+    sample = bench_test.restrict_languages(["en", "fr"]).documents[:60]
+    from repro.corpus.corpus import Corpus
+
+    sample_corpus = Corpus(sample)
+
+    python_rate, _elapsed = benchmark(lambda: mguesser.measure_throughput(sample_corpus))
+
+    hail = HailTimingModel()
+    rows = [
+        ("Mguesser (paper, C on Opteron)", "software", MGUESSER_PAPER_THROUGHPUT_MB_S),
+        ("Mguesser (this repo, Python)", "software", round(python_rate, 2)),
+        ("HAIL (model)", "Xilinx XCV2000E FPGA", round(hail.throughput_mb_s, 1)),
+        ("BloomFilter (model)", "Altera EP2S180 FPGA", round(bloom_throughput_mb_s, 1)),
+    ]
+    print_table("Table 4: comparison of n-gram based language classifiers",
+                ("system", "type", "throughput (MB/s)"), rows)
+
+    # the published hardware operating points are reproduced by the models
+    assert hail.throughput_mb_s == pytest.approx(HAIL_PAPER_THROUGHPUT_MB_S, rel=0.01)
+    assert bloom_throughput_mb_s == pytest.approx(470.0, rel=0.05)
+    # ordering: BloomFilter > HAIL > any software baseline
+    assert bloom_throughput_mb_s > hail.throughput_mb_s > MGUESSER_PAPER_THROUGHPUT_MB_S
+    assert bloom_throughput_mb_s > python_rate
+
+
+def test_table4_speedup_ratios(bloom_throughput_mb_s):
+    """The 85x (vs software) and 1.45x (vs HAIL) headline ratios."""
+    vs_software = bloom_throughput_mb_s / MGUESSER_PAPER_THROUGHPUT_MB_S
+    vs_hail = bloom_throughput_mb_s / HAIL_PAPER_THROUGHPUT_MB_S
+    assert vs_software == pytest.approx(85, rel=0.06)
+    assert vs_hail == pytest.approx(1.45, rel=0.06)
+
+
+def test_table4_peak_projection():
+    """Section 5.5: at the 1.4 GB/s engine peak the ratios become ~260x and ~4.4x."""
+    peak_mb_s = peak_throughput_mb_per_second(194, 8)
+    assert peak_mb_s / MGUESSER_PAPER_THROUGHPUT_MB_S == pytest.approx(260, rel=0.10)
+    assert peak_mb_s / HAIL_PAPER_THROUGHPUT_MB_S == pytest.approx(4.4, rel=0.10)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Language-aware document routing (the paper's motivating application class).
+
+The introduction motivates language classification with search-engine indexing,
+spam-filtering heuristics and other language-specific pipelines.  This example
+builds a small routing front end: a stream of documents in unknown languages is
+classified with the Bloom-filter classifier and routed to per-language processing
+queues, with low-confidence documents (small match-count margin) diverted to a
+manual-review queue — the kind of policy a spam filter or indexer would apply.
+
+Run with:  python examples/spam_routing.py
+"""
+
+from collections import defaultdict
+
+from repro import BloomNGramClassifier
+from repro.analysis.reporting import format_table
+from repro.corpus.generator import SyntheticCorpusBuilder
+
+
+#: documents whose relative margin falls below this go to manual review
+REVIEW_MARGIN = 0.05
+
+
+def main() -> None:
+    corpus = SyntheticCorpusBuilder(
+        languages=("en", "fr", "es", "pt", "da", "sv"),
+        docs_per_language=30,
+        words_per_document=200,
+        related_blend=0.25,
+        seed=23,
+    ).build()
+    train, incoming = corpus.split(train_fraction=0.2, seed=2)
+
+    classifier = BloomNGramClassifier(m_bits=8 * 1024, k=4, t=5000, seed=4)
+    classifier.fit(train)
+
+    queues: dict[str, list[str]] = defaultdict(list)
+    review_queue: list[tuple[str, str, float]] = []
+    misrouted = 0
+
+    for document in incoming.shuffled(seed=9):
+        result = classifier.classify_text(document.text)
+        relative_margin = result.margin / max(1, result.ngram_count)
+        if relative_margin < REVIEW_MARGIN:
+            review_queue.append((document.doc_id, result.language, relative_margin))
+        else:
+            queues[result.language].append(document.doc_id)
+            if result.language != document.language:
+                misrouted += 1
+
+    rows = [(language, len(doc_ids)) for language, doc_ids in sorted(queues.items())]
+    rows.append(("manual review", len(review_queue)))
+    print(format_table(("route", "documents"), rows, title="Routing outcome"))
+
+    routed = sum(len(v) for v in queues.values())
+    print(f"\nrouted {routed} documents automatically, "
+          f"{len(review_queue)} deferred to manual review, "
+          f"{misrouted} misrouted ({100 * misrouted / max(1, routed):.2f}% of auto-routed)")
+    if review_queue:
+        example = review_queue[0]
+        print(f"example review item: {example[0]} (best guess {example[1]}, "
+              f"relative margin {example[2]:.3f})")
+    print("\nLow-margin documents are exactly the confusable-pair cases (es/pt, da/sv) the "
+          "paper's Section 5.2 discusses; thresholding the counter margin keeps the "
+          "misrouting rate of the automatic queues low.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of *Language Classification using N-grams Accelerated by
+FPGA-based Bloom Filters* (Jacob & Gokhale, HPRCTA'07 / SC 2007 workshop).
+
+The package is organised as a set of substrates plus the paper's core contribution:
+
+``repro.core``
+    The Bloom-filter based n-gram language classifier (alphabet conversion, n-gram
+    extraction, language profiles, parallel Bloom filters, the classifier itself and
+    the analytical false-positive model).
+``repro.hashes``
+    Hardware-friendly hash families (H3 and alternatives used for ablations).
+``repro.hardware``
+    A cycle-approximate simulator of the FPGA datapath (embedded RAM blocks, the
+    Bloom-filter engine, the multi-language classifier) together with the resource
+    and clock-frequency models used to reproduce the paper's Tables 2 and 3.
+``repro.system``
+    The XtremeData XD1000 system model (HyperTransport link, DMA, command protocol,
+    synchronous/asynchronous host drivers) used to reproduce Figure 4 and Table 4.
+``repro.baselines``
+    The software baseline (Mguesser / Cavnar–Trenkle) and the competing hardware
+    design (HAIL) as functional + analytical models.
+``repro.corpus``
+    A synthetic multilingual corpus generator standing in for the JRC-Acquis corpus.
+``repro.analysis``
+    Accuracy evaluation, parameter sweeps and table/figure rendering helpers.
+
+Quickstart
+----------
+>>> from repro import build_jrc_acquis_like, BloomNGramClassifier
+>>> corpus = build_jrc_acquis_like(["en", "fr", "es"], docs_per_language=40, seed=7)
+>>> train, test = corpus.split(train_fraction=0.25, seed=7)
+>>> clf = BloomNGramClassifier(m_bits=16 * 1024, k=4, seed=1)
+>>> clf.fit(train)
+>>> result = clf.classify_text(test.documents[0].text)
+>>> result.language in corpus.languages
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import AlphabetConverter, encode_text
+from repro.core.bloom import BloomFilter, ParallelBloomFilter
+from repro.core.classifier import (
+    BloomNGramClassifier,
+    ClassificationResult,
+    ExactNGramClassifier,
+)
+from repro.core.fpr import false_positive_rate, false_positives_per_thousand
+from repro.core.ngram import NGramExtractor, ngrams_from_text, pack_ngrams
+from repro.core.profile import LanguageProfile, build_profiles
+from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
+from repro.corpus.generator import DocumentGenerator, SyntheticCorpusBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphabetConverter",
+    "encode_text",
+    "BloomFilter",
+    "ParallelBloomFilter",
+    "BloomNGramClassifier",
+    "ExactNGramClassifier",
+    "ClassificationResult",
+    "false_positive_rate",
+    "false_positives_per_thousand",
+    "NGramExtractor",
+    "ngrams_from_text",
+    "pack_ngrams",
+    "LanguageProfile",
+    "build_profiles",
+    "Corpus",
+    "Document",
+    "build_jrc_acquis_like",
+    "DocumentGenerator",
+    "SyntheticCorpusBuilder",
+    "__version__",
+]

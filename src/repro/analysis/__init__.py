@@ -1,0 +1,35 @@
+"""Evaluation, parameter sweeps and report rendering.
+
+``accuracy``
+    Accuracy evaluation and confusion matrices over labelled corpora.
+``sweep``
+    Parameter sweeps: the Table 1 (m, k) grid plus the ablations (hash family,
+    n-gram subsampling, profile size, n-gram order).
+``reporting``
+    Plain-text table and bar-chart rendering used by the benchmark harness and the
+    CLI to print paper-style tables and the Figure 4 chart.
+"""
+
+from repro.analysis.accuracy import AccuracyReport, evaluate_classifier
+from repro.analysis.reporting import format_table, render_bar_chart
+from repro.analysis.sweep import (
+    BloomSweepRow,
+    sweep_bloom_parameters,
+    sweep_hash_families,
+    sweep_ngram_order,
+    sweep_profile_size,
+    sweep_subsampling,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_classifier",
+    "format_table",
+    "render_bar_chart",
+    "BloomSweepRow",
+    "sweep_bloom_parameters",
+    "sweep_hash_families",
+    "sweep_ngram_order",
+    "sweep_profile_size",
+    "sweep_subsampling",
+]

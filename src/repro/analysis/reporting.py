@@ -1,0 +1,115 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness prints paper-style tables (Tables 1–4) and a textual version
+of Figure 4 so that a run's output can be compared to the published numbers at a
+glance; EXPERIMENTS.md records one such run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "render_bar_chart", "format_percentage", "format_number"]
+
+
+def format_number(value, decimals: int = 2) -> str:
+    """Render a number compactly (integers without a decimal point)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.{decimals}f}"
+    return str(value)
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Render a fraction as a percentage string (``0.9945`` → ``"99.45%"``)."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    decimals: int = 2,
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of row sequences (items are formatted with :func:`format_number`).
+    title:
+        Optional title printed above the table.
+    decimals:
+        Decimal places for floating-point cells.
+    """
+    formatted_rows = [[format_number(cell, decimals) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    n_columns = len(headers)
+    for row in formatted_rows:
+        if len(row) != n_columns:
+            raise ValueError("all rows must have the same number of columns as the headers")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in formatted_rows)) if formatted_rows else len(headers[c])
+        for c in range(n_columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Render grouped horizontal bars (a textual Figure 4).
+
+    Parameters
+    ----------
+    series:
+        Mapping of category (e.g. language name) → mapping of series name
+        (e.g. ``"Synchronous"``/``"Asynchronous"``) → value.
+    width:
+        Width in characters of the largest bar.
+    unit:
+        Unit suffix printed after each value.
+    title:
+        Optional chart title.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    all_values = [value for group in series.values() for value in group.values()]
+    maximum = max(all_values) if all_values else 1.0
+    maximum = maximum if maximum > 0 else 1.0
+    label_width = max((len(str(k)) for k in series), default=0)
+    series_names = sorted({name for group in series.values() for name in group})
+    name_width = max((len(name) for name in series_names), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for category, group in series.items():
+        lines.append(str(category))
+        for name in series_names:
+            if name not in group:
+                continue
+            value = group[name]
+            bar = "#" * max(1, int(round(width * value / maximum))) if value > 0 else ""
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| {format_number(value)} {unit}".rstrip()
+            )
+    _ = label_width  # label width informs nothing further; kept for symmetry
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Baselines the paper compares against.
+
+``mguesser``
+    The software baseline: an n-gram based text categoriser in the spirit of
+    Cavnar & Trenkle (1994), of which Mguesser is an optimised implementation.
+    Measured at 5.5 MB/s on a 2.4 GHz Opteron in the paper (Table 4).
+``hail``
+    The competing hardware design: HAIL (Kastner et al., FPL 2005), which stores
+    language profiles as direct-lookup tables in off-chip SRAM on a Xilinx
+    XCV2000E.  324 MB/s in the paper's Table 4; limited in scalability by the
+    number of SRAM devices rather than by on-chip memory.
+"""
+
+from repro.baselines.hail import HailClassifier, HailTimingModel
+from repro.baselines.mguesser import (
+    CavnarTrenkleClassifier,
+    MguesserClassifier,
+    RankedProfile,
+    MGUESSER_PAPER_THROUGHPUT_MB_S,
+)
+
+__all__ = [
+    "HailClassifier",
+    "HailTimingModel",
+    "CavnarTrenkleClassifier",
+    "MguesserClassifier",
+    "RankedProfile",
+    "MGUESSER_PAPER_THROUGHPUT_MB_S",
+]

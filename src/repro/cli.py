@@ -1,0 +1,271 @@
+"""Command-line interface: ``repro-langid`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate-corpus``
+    Write a synthetic multilingual corpus to a directory (one subdirectory per
+    language, one text file per document).
+``train``
+    Build language profiles from a corpus directory and save them as JSON.
+``classify``
+    Classify one or more text files against saved profiles.
+``evaluate``
+    Train/test split evaluation on a synthetic corpus (prints per-language accuracy).
+``sweep``
+    Run the Table 1 (m, k) sweep on a synthetic corpus and print the table.
+``tables``
+    Print the analytical reproductions of Tables 2 and 3 and the engine's
+    theoretical peak throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import format_percentage, format_table
+from repro.analysis.sweep import PAPER_TABLE1_GRID, sweep_bloom_parameters
+from repro.core.classifier import BloomNGramClassifier
+from repro.core.profile import LanguageProfile, build_profiles
+from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
+from repro.corpus.languages import PAPER_LANGUAGES
+from repro.hardware.resources import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    estimate_classifier_resources,
+    estimate_device_utilization,
+)
+from repro.hardware.timing import EngineTiming
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------- corpus I/O
+
+
+def _write_corpus(corpus: Corpus, directory: Path) -> None:
+    for document in corpus:
+        lang_dir = directory / document.language
+        lang_dir.mkdir(parents=True, exist_ok=True)
+        (lang_dir / f"{document.doc_id}.txt").write_text(document.text, encoding="latin-1")
+
+
+def _read_corpus(directory: Path) -> Corpus:
+    corpus = Corpus()
+    for lang_dir in sorted(p for p in directory.iterdir() if p.is_dir()):
+        for path in sorted(lang_dir.glob("*.txt")):
+            corpus.add(
+                Document(
+                    doc_id=path.stem,
+                    language=lang_dir.name,
+                    text=path.read_text(encoding="latin-1"),
+                )
+            )
+    return corpus
+
+
+# --------------------------------------------------------------------- subcommands
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
+    corpus = build_jrc_acquis_like(
+        languages=languages,
+        docs_per_language=args.docs_per_language,
+        words_per_document=args.words_per_document,
+        seed=args.seed,
+    )
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    _write_corpus(corpus, output)
+    stats = corpus.stats()
+    print(
+        f"wrote {stats['documents']} documents in {stats['languages']} languages "
+        f"({stats['total_bytes']:,} bytes) to {output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = _read_corpus(Path(args.corpus))
+    profiles = build_profiles(corpus.texts_by_language(), n=args.ngram, t=args.profile_size)
+    payload = {language: profile.to_dict() for language, profile in profiles.items()}
+    Path(args.output).write_text(json.dumps(payload), encoding="utf-8")
+    print(f"wrote {len(profiles)} profiles (n={args.ngram}, t={args.profile_size}) to {args.output}")
+    return 0
+
+
+def _load_profiles(path: Path) -> dict[str, LanguageProfile]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {language: LanguageProfile.from_dict(entry) for language, entry in payload.items()}
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    profiles = _load_profiles(Path(args.profiles))
+    any_profile = next(iter(profiles.values()))
+    classifier = BloomNGramClassifier(
+        m_bits=args.m_kbits * 1024, k=args.k, n=any_profile.n, t=any_profile.t, seed=args.seed
+    )
+    classifier.fit_profiles(profiles)
+    for file_name in args.files:
+        text = Path(file_name).read_text(encoding="latin-1")
+        result = classifier.classify_text(text)
+        ranking = ", ".join(f"{lang}={count}" for lang, count in result.ranking()[:3])
+        print(f"{file_name}: {result.language}  ({ranking})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.analysis.accuracy import evaluate_classifier
+
+    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
+    corpus = build_jrc_acquis_like(
+        languages=languages,
+        docs_per_language=args.docs_per_language,
+        words_per_document=args.words_per_document,
+        seed=args.seed,
+    )
+    train, test = corpus.split(train_fraction=args.train_fraction, seed=args.seed)
+    classifier = BloomNGramClassifier(
+        m_bits=args.m_kbits * 1024, k=args.k, t=args.profile_size, seed=args.seed
+    )
+    classifier.fit(train)
+    report = evaluate_classifier(classifier, test)
+    rows = [
+        (language, format_percentage(accuracy))
+        for language, accuracy in report.per_language_accuracy.items()
+    ]
+    print(format_table(("language", "accuracy"), rows, title="Per-language accuracy"))
+    print(f"average accuracy: {format_percentage(report.average_accuracy)}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
+    corpus = build_jrc_acquis_like(
+        languages=languages,
+        docs_per_language=args.docs_per_language,
+        words_per_document=args.words_per_document,
+        seed=args.seed,
+    )
+    train, test = corpus.split(train_fraction=args.train_fraction, seed=args.seed)
+    rows = sweep_bloom_parameters(train, test, grid=PAPER_TABLE1_GRID, t=args.profile_size, seed=args.seed)
+    table_rows = [row.as_table_row() for row in rows]
+    print(
+        format_table(
+            ("m (Kbits)", "k", "expected FP/1000", "measured FP/1000", "avg accuracy"),
+            table_rows,
+            title="Table 1: accuracy vs Bloom filter parameters",
+        )
+    )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    rows2 = []
+    for (m_kbits, k), paper in PAPER_TABLE2.items():
+        estimate = estimate_classifier_resources(m_kbits * 1024, k)
+        rows2.append(
+            (m_kbits, k, estimate.logic, paper["logic"], estimate.m4k_blocks, paper["m4k"],
+             estimate.fmax_mhz, paper["fmax_mhz"])
+        )
+    print(
+        format_table(
+            ("m (Kbits)", "k", "logic (model)", "logic (paper)", "M4K (model)", "M4K (paper)",
+             "fmax (model)", "fmax (paper)"),
+            rows2,
+            title="Table 2: classifier-module resources (model vs paper)",
+        )
+    )
+    print()
+    rows3 = []
+    for (m_kbits, k, languages), paper in PAPER_TABLE3.items():
+        estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+        rows3.append(
+            (f"{k}, {m_kbits} Kbits", languages, estimate.logic, paper["logic"],
+             estimate.m4k_blocks, paper["m4k"], estimate.fmax_mhz, paper["fmax_mhz"])
+        )
+    print(
+        format_table(
+            ("k, m", "languages", "logic (model)", "logic (paper)", "M4K (model)",
+             "M4K (paper)", "fmax (model)", "fmax (paper)"),
+            rows3,
+            title="Table 3: device utilisation (model vs paper)",
+        )
+    )
+    timing = EngineTiming(frequency_mhz=194.0, ngrams_per_clock=8)
+    print()
+    print(
+        f"theoretical engine peak: {timing.ngrams_per_second / 1e6:.0f} M n-grams/s "
+        f"= {timing.peak_gb_per_second:.2f} GB/s (paper: 1,552 M n-grams/s = 1.4 GB/s)"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and documentation tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-langid",
+        description="Bloom-filter n-gram language classification (HPRCTA'07 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_corpus_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--languages", default="", help="comma-separated language codes")
+        p.add_argument("--docs-per-language", type=int, default=50)
+        p.add_argument("--words-per-document", type=int, default=600)
+        p.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate-corpus", help="write a synthetic corpus to a directory")
+    add_corpus_options(generate)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(func=_cmd_generate_corpus)
+
+    train = sub.add_parser("train", help="build language profiles from a corpus directory")
+    train.add_argument("--corpus", required=True)
+    train.add_argument("--output", required=True)
+    train.add_argument("--ngram", type=int, default=4)
+    train.add_argument("--profile-size", type=int, default=5000)
+    train.set_defaults(func=_cmd_train)
+
+    classify = sub.add_parser("classify", help="classify text files against saved profiles")
+    classify.add_argument("--profiles", required=True)
+    classify.add_argument("--m-kbits", type=int, default=16)
+    classify.add_argument("--k", type=int, default=4)
+    classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument("files", nargs="+")
+    classify.set_defaults(func=_cmd_classify)
+
+    evaluate = sub.add_parser("evaluate", help="train/test evaluation on a synthetic corpus")
+    add_corpus_options(evaluate)
+    evaluate.add_argument("--train-fraction", type=float, default=0.10)
+    evaluate.add_argument("--m-kbits", type=int, default=16)
+    evaluate.add_argument("--k", type=int, default=4)
+    evaluate.add_argument("--profile-size", type=int, default=5000)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    sweep = sub.add_parser("sweep", help="run the Table 1 (m, k) sweep")
+    add_corpus_options(sweep)
+    sweep.add_argument("--train-fraction", type=float, default=0.10)
+    sweep.add_argument("--profile-size", type=int, default=5000)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    tables = sub.add_parser("tables", help="print the analytical Tables 2/3 reproduction")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

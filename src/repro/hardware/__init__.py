@@ -1,0 +1,63 @@
+"""FPGA architecture simulator and resource models.
+
+This package models the hardware half of the paper:
+
+``memory``
+    Embedded RAM blocks (Altera M512 / M4K / M-RAM) with dual-port semantics, and
+    the logical bit-vector memories the Bloom filters are built from.
+``device``
+    Device inventories (Altera Stratix II EP2S180 used by the paper, Xilinx
+    XCV2000E used by HAIL) and utilisation book-keeping.
+``bloom_engine``
+    The per-language hardware Parallel Bloom Filter engine (cycle-approximate,
+    dual-ported — two n-grams per clock per engine).
+``classifier_engine``
+    The Multiple Language Classifier (p languages × dual port) and the Parallel
+    Multi-language Classifier (4 copies → 8 n-grams per clock) with its adder tree.
+``resources``
+    Analytical resource-utilisation model (ALUT/logic, registers, M4K count, fmax)
+    calibrated against the paper's Table 2, used to regenerate Tables 2 and 3.
+``timing``
+    Clock/throughput arithmetic (n-grams per second, peak GB/s).
+"""
+
+from repro.hardware.device import STRATIX_II_EP2S180, XILINX_XCV2000E, FPGADevice
+from repro.hardware.memory import BitVectorMemory, EmbeddedRAM, RAMKind
+from repro.hardware.bloom_engine import HardwareBloomFilter
+from repro.hardware.classifier_engine import (
+    MultipleLanguageClassifier,
+    ParallelMultiLanguageClassifier,
+)
+from repro.hardware.resources import (
+    ClassifierConfig,
+    DeviceUtilization,
+    ResourceEstimate,
+    estimate_classifier_resources,
+    estimate_device_utilization,
+    m4k_count,
+    m4ks_per_bitvector,
+    max_supported_languages,
+)
+from repro.hardware.timing import peak_ngrams_per_second, peak_throughput_mb_per_second
+
+__all__ = [
+    "FPGADevice",
+    "STRATIX_II_EP2S180",
+    "XILINX_XCV2000E",
+    "RAMKind",
+    "EmbeddedRAM",
+    "BitVectorMemory",
+    "HardwareBloomFilter",
+    "MultipleLanguageClassifier",
+    "ParallelMultiLanguageClassifier",
+    "ClassifierConfig",
+    "ResourceEstimate",
+    "DeviceUtilization",
+    "estimate_classifier_resources",
+    "estimate_device_utilization",
+    "m4k_count",
+    "m4ks_per_bitvector",
+    "max_supported_languages",
+    "peak_ngrams_per_second",
+    "peak_throughput_mb_per_second",
+]

@@ -1,0 +1,192 @@
+"""Hardware Parallel Bloom Filter engine (one language).
+
+This is the cycle-approximate model of Figure 1 of the paper: ``k`` H3 hash blocks
+feeding ``k`` independent bit-vectors held in embedded RAM.  Because the RAM blocks
+are dual-ported, the engine exposes a two-lane test interface — two document
+n-grams are probed per clock cycle (Section 3.2).
+
+The engine is deliberately *bit-exact* with the software
+:class:`repro.core.bloom.ParallelBloomFilter`: building both from the same hash
+family (same seed) yields identical match decisions, which the integration tests
+assert.  The engine additionally accounts for cycles and RAM-port usage so that the
+throughput and port-conflict claims can be checked mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.bloom import ParallelBloomFilter
+from repro.hardware.memory import BitVectorMemory, RAMKind
+from repro.hashes.base import HashFamily
+from repro.hashes.h3 import H3Family
+
+__all__ = ["HardwareBloomFilter"]
+
+
+class HardwareBloomFilter:
+    """Cycle-level model of one language's Parallel Bloom Filter.
+
+    Parameters
+    ----------
+    m_bits:
+        Length of each per-hash bit-vector.
+    k:
+        Number of hash functions / bit-vectors.
+    key_bits:
+        Width of the packed n-gram keys.
+    hashes:
+        Hash family; defaults to H3 seeded with ``seed``.
+    ram_kind:
+        Embedded RAM family used for the bit-vectors (M4K on the Stratix II).
+    lanes:
+        Number of n-grams tested per clock by this engine (2 = dual-ported RAM).
+    name:
+        Label used for the underlying RAM blocks.
+    """
+
+    def __init__(
+        self,
+        m_bits: int,
+        k: int,
+        key_bits: int = 20,
+        hashes: HashFamily | None = None,
+        seed: int = 0,
+        ram_kind: RAMKind = RAMKind.M4K,
+        lanes: int = 2,
+        name: str = "lang",
+    ):
+        if lanes <= 0:
+            raise ValueError("lanes must be positive")
+        self.m_bits = int(m_bits)
+        self.k = int(k)
+        self.key_bits = int(key_bits)
+        self.lanes = int(lanes)
+        self.name = name
+        out_bits = int(math.log2(self.m_bits))
+        if 1 << out_bits != self.m_bits:
+            raise ValueError("m_bits must be a power of two")
+        if hashes is None:
+            hashes = H3Family(k=self.k, key_bits=self.key_bits, out_bits=out_bits, seed=seed)
+        if hashes.out_bits != out_bits or len(hashes) != self.k:
+            raise ValueError("hash family does not match the filter configuration")
+        self.hashes = hashes
+        self.vectors = [
+            BitVectorMemory(m_bits=self.m_bits, kind=ram_kind, name=f"{name}/h{i}")
+            for i in range(self.k)
+        ]
+        self.match_counter = 0
+        self.cycles = 0
+        self.ngrams_programmed = 0
+
+    # ------------------------------------------------------------ programming
+
+    def reset(self) -> None:
+        """Clear all bit-vectors and the match counter (the paper's preprocessing step)."""
+        for vector in self.vectors:
+            vector.clear()
+        self.match_counter = 0
+        self.cycles = 0
+        self.ngrams_programmed = 0
+
+    def program_profile(self, ngrams: np.ndarray) -> int:
+        """Program a language profile, one n-gram per cycle (the set datapath).
+
+        Returns the number of cycles consumed (== number of n-grams programmed);
+        the system model converts this into the "Bloom Filter programming time"
+        the paper amortises away in Section 5.4.
+        """
+        ngrams = np.unique(np.asarray(ngrams, dtype=np.uint64))
+        for value in ngrams:
+            self._new_cycle()
+            for i, hash_fn in enumerate(self.hashes):
+                address = int(hash_fn.hash_scalar(int(value)))
+                self.vectors[i].write_bit(address, True)
+        self.ngrams_programmed += int(ngrams.size)
+        return int(ngrams.size)
+
+    def load_from_software(self, software_filter: ParallelBloomFilter) -> None:
+        """Mirror a software filter's bit-vectors into the RAM blocks (fast path).
+
+        Bypasses the cycle-accurate programming loop; used by the system simulator
+        where only the classification datapath needs to be cycle-accounted.
+        """
+        if software_filter.m_bits != self.m_bits or software_filter.k != self.k:
+            raise ValueError("software filter shape does not match the hardware engine")
+        bits = software_filter.bit_vectors
+        for i, vector in enumerate(self.vectors):
+            vector.load(bits[i])
+        self.ngrams_programmed = software_filter.n_items
+
+    # ------------------------------------------------------------ testing
+
+    def _new_cycle(self) -> None:
+        self.cycles += 1
+        for vector in self.vectors:
+            vector.new_cycle()
+
+    def test_lanes(self, ngrams: np.ndarray) -> list[bool]:
+        """Test up to ``lanes`` n-grams in one clock cycle.
+
+        Each lane probes every one of the ``k`` bit-vectors once; with dual-ported
+        RAM and two lanes this uses both ports of every block, and the port
+        accounting in :class:`~repro.hardware.memory.EmbeddedRAM` raises if the
+        datapath would ever need a third port.
+        """
+        ngrams = np.asarray(ngrams, dtype=np.uint64)
+        if ngrams.size > self.lanes:
+            raise ValueError(f"at most {self.lanes} n-grams per cycle (got {ngrams.size})")
+        self._new_cycle()
+        results: list[bool] = []
+        for value in ngrams:
+            match = True
+            for i, hash_fn in enumerate(self.hashes):
+                address = int(hash_fn.hash_scalar(int(value)))
+                match &= self.vectors[i].read_bit(address)
+            if match:
+                self.match_counter += 1
+            results.append(bool(match))
+        return results
+
+    def test_stream_fast(self, ngrams: np.ndarray) -> tuple[int, int]:
+        """Vectorized functional test of a whole stream with cycle accounting only.
+
+        Returns ``(matches, cycles)`` where ``cycles = ceil(len / lanes)``.  The
+        membership decisions are computed with the same hash family and the RAM
+        snapshot, so they are identical to driving :meth:`test_lanes` cycle by cycle
+        (the equivalence is covered by tests), but large documents do not pay the
+        per-bit Python overhead.
+        """
+        ngrams = np.asarray(ngrams, dtype=np.uint64)
+        if ngrams.size == 0:
+            return 0, 0
+        addresses = self.hashes.hash_all(ngrams)
+        hits = np.ones(ngrams.size, dtype=bool)
+        for i, vector in enumerate(self.vectors):
+            snapshot = vector.snapshot()
+            hits &= snapshot[addresses[i]]
+        matches = int(hits.sum())
+        cycles = int(math.ceil(ngrams.size / self.lanes))
+        self.match_counter += matches
+        self.cycles += cycles
+        return matches, cycles
+
+    # ------------------------------------------------------------ introspection
+
+    @property
+    def m4k_blocks_used(self) -> int:
+        """Number of physical RAM blocks holding this engine's bit-vectors."""
+        return sum(vector.n_blocks for vector in self.vectors)
+
+    @property
+    def total_bits(self) -> int:
+        """Logical bit-vector bits held by this engine."""
+        return self.k * self.m_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HardwareBloomFilter(name={self.name!r}, m_bits={self.m_bits}, k={self.k}, "
+            f"lanes={self.lanes}, blocks={self.m4k_blocks_used})"
+        )

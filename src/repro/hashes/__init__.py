@@ -1,0 +1,33 @@
+"""Hardware-friendly hash families.
+
+The paper uses the H3 family (Ramakrishna, Fu & Bahcekapili, *Efficient hardware
+hashing functions for high performance computers*, IEEE ToC 1997) because every
+output bit is an XOR of a subset of input bits — a single LUT level on an FPGA.
+``repro.hashes.h3`` implements it with a chunked (table-driven) evaluation that is
+algebraically identical to the bit-serial definition but vectorizes over NumPy
+arrays of packed n-grams.
+
+``repro.hashes.families`` provides alternative families (multiply-shift, FNV-1a,
+tabulation) used by the ablation benchmarks to show that the classifier accuracy
+is not specific to H3.
+"""
+
+from repro.hashes.base import KeyHash, HashFamily
+from repro.hashes.h3 import H3Hash, H3Family
+from repro.hashes.families import (
+    FNV1aHash,
+    MultiplyShiftHash,
+    TabulationHash,
+    make_hash_family,
+)
+
+__all__ = [
+    "KeyHash",
+    "HashFamily",
+    "H3Hash",
+    "H3Family",
+    "FNV1aHash",
+    "MultiplyShiftHash",
+    "TabulationHash",
+    "make_hash_family",
+]

@@ -1,0 +1,129 @@
+"""Alternative hash families used in ablation experiments.
+
+The paper commits to H3 because it is hardware friendly.  The ablation benchmark
+``benchmarks/test_ablation_hash_family.py`` shows that classification accuracy is
+driven by the false-positive rate, not by the particular family, by swapping in
+the families below.  Each family satisfies the :class:`repro.hashes.base.KeyHash`
+interface so they are drop-in replacements inside the Bloom filters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashes.base import HashFamily, KeyHash
+from repro.hashes.h3 import H3Family
+
+__all__ = ["MultiplyShiftHash", "FNV1aHash", "TabulationHash", "make_hash_family"]
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class MultiplyShiftHash(KeyHash):
+    """Dietzfelbinger multiply-shift hashing: ``h(x) = (a*x + b) >> (64 - out_bits)``.
+
+    ``a`` is a random odd 64-bit multiplier.  This is the classic cheap universal
+    family for word-sized keys on a CPU.
+    """
+
+    def __init__(self, key_bits: int, out_bits: int, seed: int):
+        self.key_bits = int(key_bits)
+        self.out_bits = int(out_bits)
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self._a = np.uint64(int(rng.integers(0, 2**63)) * 2 + 1)
+        self._b = np.uint64(int(rng.integers(0, 2**63)))
+        self._shift = np.uint64(64 - out_bits)
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = self._validate_keys(keys)
+        with np.errstate(over="ignore"):
+            mixed = (keys * self._a + self._b) & _MASK64
+        return mixed >> self._shift
+
+
+class FNV1aHash(KeyHash):
+    """FNV-1a over the bytes of the key, folded down to ``out_bits``.
+
+    The seed perturbs the offset basis so that independent instances behave as
+    independent functions for Bloom-filter purposes.
+    """
+
+    def __init__(self, key_bits: int, out_bits: int, seed: int):
+        self.key_bits = int(key_bits)
+        self.out_bits = int(out_bits)
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self._offset = np.uint64(int(rng.integers(0, 2**63))) ^ _FNV_OFFSET
+        self._nbytes = (key_bits + 7) // 8
+        self._mask = np.uint64((1 << out_bits) - 1)
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = self._validate_keys(keys)
+        acc = np.full(keys.shape, self._offset, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for byte_index in range(self._nbytes):
+                byte = (keys >> np.uint64(8 * byte_index)) & np.uint64(0xFF)
+                acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+            # xor-fold 64 -> out_bits
+            acc = acc ^ (acc >> np.uint64(self.out_bits))
+        return acc & self._mask
+
+
+class TabulationHash(KeyHash):
+    """Simple tabulation hashing over 8-bit chunks of the key.
+
+    Structurally similar to the chunked H3 evaluation but with full-width random
+    tables; 3-independent and extremely well behaved in practice.
+    """
+
+    def __init__(self, key_bits: int, out_bits: int, seed: int):
+        self.key_bits = int(key_bits)
+        self.out_bits = int(out_bits)
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self._nchunks = (key_bits + 7) // 8
+        self._tables = rng.integers(0, 1 << out_bits, size=(self._nchunks, 256), dtype=np.uint64)
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = self._validate_keys(keys)
+        acc = np.zeros(keys.shape, dtype=np.uint64)
+        for chunk_index in range(self._nchunks):
+            byte = (keys >> np.uint64(8 * chunk_index)) & np.uint64(0xFF)
+            acc ^= self._tables[chunk_index][byte]
+        return acc
+
+
+_FAMILIES = {
+    "h3": None,  # handled specially below
+    "multiply-shift": MultiplyShiftHash,
+    "fnv1a": FNV1aHash,
+    "tabulation": TabulationHash,
+}
+
+
+def make_hash_family(
+    name: str, k: int, key_bits: int, out_bits: int, seed: int = 0
+) -> HashFamily:
+    """Build a :class:`HashFamily` of ``k`` functions of the named family.
+
+    Parameters
+    ----------
+    name:
+        One of ``"h3"`` (the paper's family), ``"multiply-shift"``, ``"fnv1a"``
+        or ``"tabulation"``.
+    k, key_bits, out_bits, seed:
+        Family parameters; see :class:`repro.hashes.h3.H3Family`.
+    """
+    key = name.lower().strip()
+    if key not in _FAMILIES:
+        raise ValueError(f"unknown hash family {name!r}; choose from {sorted(_FAMILIES)}")
+    if key == "h3":
+        return H3Family(k=k, key_bits=key_bits, out_bits=out_bits, seed=seed)
+    cls = _FAMILIES[key]
+    seeds = np.random.default_rng(seed).integers(0, 2**63 - 1, size=k)
+    return HashFamily(
+        cls(key_bits=key_bits, out_bits=out_bits, seed=int(s)) for s in seeds
+    )

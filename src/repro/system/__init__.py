@@ -1,0 +1,51 @@
+"""XtremeData XD1000 system-level model.
+
+Reproduces the end-to-end behaviour of Section 4/5.4 of the paper: an AMD Opteron
+host streams documents over HyperTransport to the FPGA classifier via DMA, using a
+small register/command protocol, and the realised throughput depends on the host
+driver's synchronisation strategy:
+
+* the **synchronous** driver raises an interrupt after every document and reads the
+  counters before sending the next one (~228 MB/s in the paper);
+* the **asynchronous** driver streams documents back-to-back while a second thread
+  collects FPGA-initiated result DMA (~470 MB/s, close to the board's practical
+  500 MB/s HyperTransport limit).
+
+Modules: ``hypertransport`` (link model), ``dma`` (bulk transfer engine),
+``commands`` (register/command protocol and the FPGA-side state machine with its
+watchdog), ``host`` (the two driver models), ``xd1000`` (the full system and
+corpus-level runs) and ``throughput`` (accounting helpers).
+"""
+
+from repro.system.commands import (
+    Command,
+    CommandType,
+    DocumentFramer,
+    FPGACommandStateMachine,
+    QueryResult,
+    xor_checksum,
+)
+from repro.system.dma import DMAController, DMATransfer
+from repro.system.host import AsynchronousHostDriver, HostTimingParameters, SynchronousHostDriver
+from repro.system.hypertransport import HyperTransportLink
+from repro.system.throughput import ThroughputReport, mb_per_second
+from repro.system.xd1000 import SystemRunReport, XD1000System
+
+__all__ = [
+    "Command",
+    "CommandType",
+    "DocumentFramer",
+    "FPGACommandStateMachine",
+    "QueryResult",
+    "xor_checksum",
+    "DMAController",
+    "DMATransfer",
+    "HyperTransportLink",
+    "SynchronousHostDriver",
+    "AsynchronousHostDriver",
+    "HostTimingParameters",
+    "ThroughputReport",
+    "mb_per_second",
+    "SystemRunReport",
+    "XD1000System",
+]

@@ -1,0 +1,244 @@
+"""Register/command protocol between host software and the FPGA classifier.
+
+Section 4 of the paper describes the protocol the hardware uses to cope with
+commands (register writes) and document data (DMA) arriving asynchronously and
+potentially out of order:
+
+* a **size** command precedes every document and announces the number of 64-bit
+  words to expect;
+* the document words follow via DMA; subsequent commands are only processed once
+  every expected word has arrived;
+* an **end-of-document** command closes the document and triggers the counter merge;
+* a **query result** command returns the match counters, an XOR data checksum and
+  status bits to the host;
+* a **watchdog timer** resets the state machine if the expected words never arrive.
+
+:class:`FPGACommandStateMachine` implements exactly that control flow (so tests can
+exercise out-of-order arrival, checksum mismatches and watchdog recovery), and
+:class:`DocumentFramer` produces the matching host-side command/data sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CommandType",
+    "Command",
+    "QueryResult",
+    "xor_checksum",
+    "DocumentFramer",
+    "FPGACommandStateMachine",
+    "ProtocolError",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when the host/FPGA exchange violates the framing protocol."""
+
+
+class CommandType(enum.Enum):
+    """Register-interface commands understood by the classifier hardware."""
+
+    RESET = "reset"
+    PROGRAM_PROFILE = "program_profile"
+    SIZE = "size"
+    END_OF_DOCUMENT = "end_of_document"
+    QUERY_RESULT = "query_result"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One register-interface command with its operand (meaning depends on the type)."""
+
+    type: CommandType
+    operand: int = 0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Classification results returned to the host for one document."""
+
+    match_counts: dict
+    checksum: int
+    words_received: int
+    valid: bool
+    status_bits: int = 0
+
+
+def xor_checksum(words: np.ndarray) -> int:
+    """XOR of all 64-bit data words (the hardware's transfer-integrity check)."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return 0
+    acc = np.uint64(0)
+    # np.bitwise_xor.reduce is a single pass in C
+    acc = np.bitwise_xor.reduce(words)
+    return int(acc)
+
+
+def document_to_words(data: bytes) -> np.ndarray:
+    """Pack a document's bytes into 64-bit little-endian words (zero-padded)."""
+    padding = (-len(data)) % 8
+    padded = data + b"\x00" * padding
+    return np.frombuffer(padded, dtype="<u8").copy()
+
+
+class DocumentFramer:
+    """Host-side helper producing the command/data sequence for a document."""
+
+    def frame(self, data: bytes) -> tuple[list[Command], np.ndarray]:
+        """Return the command list and the DMA word payload for one document."""
+        words = document_to_words(data)
+        commands = [
+            Command(CommandType.SIZE, operand=int(words.size)),
+            Command(CommandType.END_OF_DOCUMENT),
+            Command(CommandType.QUERY_RESULT),
+        ]
+        return commands, words
+
+
+class FPGACommandStateMachine:
+    """FPGA-side control state machine (command/data reconciliation + watchdog).
+
+    Parameters
+    ----------
+    classify_words:
+        Callback invoked with the document's 64-bit words when the document is
+        complete; must return a mapping of language → match count.  The system
+        simulator wires this to the hardware classifier engine.
+    watchdog_cycles:
+        Number of ``tick()`` calls without progress after which an incomplete
+        document is abandoned and the state machine resets itself.
+    """
+
+    IDLE = "idle"
+    EXPECT_DATA = "expect_data"
+    DOCUMENT_READY = "document_ready"
+
+    def __init__(self, classify_words, watchdog_cycles: int = 1000):
+        if watchdog_cycles <= 0:
+            raise ValueError("watchdog_cycles must be positive")
+        self._classify_words = classify_words
+        self.watchdog_cycles = int(watchdog_cycles)
+        self.state = self.IDLE
+        self._expected_words = 0
+        self._received: list[np.ndarray] = []
+        self._received_count = 0
+        self._idle_ticks = 0
+        self._pending_commands: list[Command] = []
+        self._last_result: QueryResult | None = None
+        self.watchdog_resets = 0
+        self.documents_processed = 0
+
+    # ------------------------------------------------------------ host-facing API
+
+    def submit_command(self, command: Command) -> None:
+        """Receive a register-interface command (may arrive before the DMA data)."""
+        if command.type is CommandType.RESET:
+            self._reset(full=True)
+            return
+        if command.type is CommandType.SIZE:
+            if self.state is not self.IDLE:
+                # commands are queued until outstanding data arrives (Section 4)
+                self._pending_commands.append(command)
+                return
+            self._expected_words = int(command.operand)
+            self._received = []
+            self._received_count = 0
+            self._idle_ticks = 0
+            self.state = self.EXPECT_DATA
+            if self._expected_words == 0:
+                self.state = self.DOCUMENT_READY
+            return
+        if command.type in (CommandType.END_OF_DOCUMENT, CommandType.QUERY_RESULT):
+            self._pending_commands.append(command)
+            self._drain_pending()
+            return
+        if command.type is CommandType.PROGRAM_PROFILE:
+            # profile programming is handled by the system model before streaming
+            return
+        raise ProtocolError(f"unsupported command {command!r}")  # pragma: no cover
+
+    def submit_dma_words(self, words: np.ndarray) -> None:
+        """Receive a chunk of DMA data words for the current document."""
+        if self.state is not self.EXPECT_DATA:
+            raise ProtocolError("DMA data received without a preceding size command")
+        words = np.asarray(words, dtype=np.uint64)
+        self._received.append(words)
+        self._received_count += int(words.size)
+        self._idle_ticks = 0
+        if self._received_count > self._expected_words:
+            raise ProtocolError(
+                f"received {self._received_count} words, expected {self._expected_words}"
+            )
+        if self._received_count == self._expected_words:
+            self.state = self.DOCUMENT_READY
+            self._drain_pending()
+
+    def read_result(self) -> QueryResult:
+        """Read the query result register set for the last completed document."""
+        if self._last_result is None:
+            raise ProtocolError("no query result available")
+        result = self._last_result
+        self._last_result = None
+        return result
+
+    def tick(self) -> None:
+        """Advance the watchdog timer by one timeout unit."""
+        if self.state is self.EXPECT_DATA:
+            self._idle_ticks += 1
+            if self._idle_ticks >= self.watchdog_cycles:
+                self.watchdog_resets += 1
+                self._reset(full=False)
+
+    # ------------------------------------------------------------ internals
+
+    def _drain_pending(self) -> None:
+        while self._pending_commands:
+            command = self._pending_commands[0]
+            if command.type is CommandType.SIZE:
+                if self.state is not self.IDLE:
+                    return
+                self._pending_commands.pop(0)
+                self.submit_command(command)
+                continue
+            if command.type is CommandType.END_OF_DOCUMENT:
+                if self.state is not self.DOCUMENT_READY:
+                    return
+                self._pending_commands.pop(0)
+                self._finish_document()
+                continue
+            if command.type is CommandType.QUERY_RESULT:
+                if self._last_result is None and self.state is not self.IDLE:
+                    return
+                self._pending_commands.pop(0)
+                continue
+            self._pending_commands.pop(0)  # pragma: no cover - defensive
+
+    def _finish_document(self) -> None:
+        words = (
+            np.concatenate(self._received) if self._received else np.empty(0, dtype=np.uint64)
+        )
+        counts = self._classify_words(words)
+        self._last_result = QueryResult(
+            match_counts=dict(counts),
+            checksum=xor_checksum(words),
+            words_received=int(words.size),
+            valid=True,
+        )
+        self.documents_processed += 1
+        self._reset(full=False)
+
+    def _reset(self, full: bool) -> None:
+        self.state = self.IDLE
+        self._expected_words = 0
+        self._received = []
+        self._received_count = 0
+        self._idle_ticks = 0
+        if full:
+            self._pending_commands = []
+            self._last_result = None

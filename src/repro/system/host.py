@@ -1,0 +1,166 @@
+"""Host driver models: synchronous (interrupt-per-document) vs asynchronous (streaming).
+
+Section 5.4 of the paper compares two versions of the host software:
+
+* the **first version** had *"tight synchronization between the hardware and software
+  components"* — after each document DMA the software requests a hardware interrupt,
+  reads the match counters and only then sends the next document.  Measured
+  throughput: ~228 MB/s.
+* the **second version** removed explicit synchronization: the hardware stops
+  accepting commands until a whole document has arrived, one software thread streams
+  documents back-to-back and another collects results returned by FPGA-initiated
+  DMA.  Measured throughput: ~470 MB/s, close to the board's 500 MB/s practical
+  HyperTransport limit.
+
+The driver models below turn a per-document byte count into elapsed host time using
+the link/DMA models plus a small set of timing parameters
+(:class:`HostTimingParameters`).  The defaults are calibrated so that 10 KB average
+documents reproduce the paper's measured throughputs; the calibration is documented
+field by field and checked by the Figure 4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.dma import DMAController
+from repro.system.hypertransport import HyperTransportLink
+
+__all__ = ["HostTimingParameters", "SynchronousHostDriver", "AsynchronousHostDriver", "DocumentTiming"]
+
+
+@dataclass(frozen=True)
+class HostTimingParameters:
+    """Calibrated host/driver timing constants.
+
+    Attributes
+    ----------
+    interrupt_latency_seconds:
+        Time from the FPGA raising an interrupt to the host ISR running and the
+        user-space thread being woken (µs-scale on the 2007-era Opteron/Linux stack;
+        the dominant cost of the synchronous driver).
+    result_register_reads:
+        Number of memory-mapped register reads needed to collect the match counters
+        and status of one document (10 language counters + checksum + status).
+    command_register_writes:
+        Register writes per document for the `size` and `end of document` commands.
+    software_overhead_seconds:
+        Per-document host software bookkeeping that cannot be overlapped with DMA
+        (buffer management, queueing).
+    result_return_bytes:
+        Size of the FPGA-initiated result DMA (counters, checksum, status bits).
+    programming_seconds_per_ngram:
+        Host time to program one profile n-gram into one classifier copy through the
+        register/DMA interface (calibrated so that programming the ten-language
+        profile set costs ~0.25 s, which turns the 470 MB/s asynchronous figure into
+        the paper's 378 MB/s when programming time is charged to the run).
+    """
+
+    interrupt_latency_seconds: float = 12.0e-6
+    result_register_reads: int = 10
+    command_register_writes: int = 2
+    software_overhead_seconds: float = 1.0e-6
+    result_return_bytes: int = 64
+    programming_seconds_per_ngram: float = 1.25e-6
+
+
+@dataclass(frozen=True)
+class DocumentTiming:
+    """Per-document time breakdown produced by a driver model (seconds)."""
+
+    transfer: float
+    commands: float
+    synchronization: float
+    software: float
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.commands + self.synchronization + self.software
+
+
+class _DriverBase:
+    """Shared plumbing of the two driver models."""
+
+    def __init__(
+        self,
+        link: HyperTransportLink | None = None,
+        params: HostTimingParameters | None = None,
+    ):
+        self.link = link if link is not None else HyperTransportLink()
+        self.params = params if params is not None else HostTimingParameters()
+        self.dma = DMAController(self.link)
+
+    def programming_seconds(self, total_ngrams: int) -> float:
+        """Host time to program ``total_ngrams`` profile entries (all copies counted)."""
+        if total_ngrams < 0:
+            raise ValueError("total_ngrams must be non-negative")
+        return total_ngrams * self.params.programming_seconds_per_ngram
+
+    def document_seconds(self, n_bytes: int, engine_seconds: float = 0.0) -> DocumentTiming:
+        raise NotImplementedError  # pragma: no cover - overridden
+
+    def corpus_seconds(self, document_sizes, engine_seconds_per_byte: float = 0.0) -> float:
+        """Total host time to stream a sequence of document sizes (bytes)."""
+        total = 0.0
+        for size in document_sizes:
+            total += self.document_seconds(size, engine_seconds_per_byte * size).total
+        return total
+
+
+class SynchronousHostDriver(_DriverBase):
+    """Interrupt-per-document driver (the paper's first software version).
+
+    Per document: issue the size command, program and run the DMA, wait for the
+    hardware interrupt that signals completion, then read the match counters over
+    the register interface before the next document may start.  Nothing overlaps,
+    so every per-document cost lands on the critical path.
+    """
+
+    def document_seconds(self, n_bytes: int, engine_seconds: float = 0.0) -> DocumentTiming:
+        """Elapsed time for one document of ``n_bytes`` (``engine_seconds`` = FPGA compute)."""
+        transfer = self.dma.transfer(n_bytes).seconds
+        commands = self.link.register_access_seconds_total(self.params.command_register_writes)
+        sync = (
+            self.params.interrupt_latency_seconds
+            + self.link.register_access_seconds_total(self.params.result_register_reads)
+        )
+        # The classifier drains the document slower than the link delivers it only if
+        # the engine is the bottleneck; any residual engine time extends the wait.
+        residual_engine = max(0.0, engine_seconds - transfer)
+        return DocumentTiming(
+            transfer=transfer,
+            commands=commands,
+            synchronization=sync + residual_engine,
+            software=self.params.software_overhead_seconds,
+        )
+
+
+class AsynchronousHostDriver(_DriverBase):
+    """Streaming driver without explicit synchronization (the paper's second version).
+
+    The sending thread queues documents back-to-back; commands for the next document
+    are issued while the current one is in flight, and results come back via
+    FPGA-initiated DMA collected by a second thread.  Only the bulk transfer itself
+    and a small non-overlappable software cost remain on the critical path.
+    """
+
+    def document_seconds(self, n_bytes: int, engine_seconds: float = 0.0) -> DocumentTiming:
+        """Steady-state per-document cost (pipeline fill is amortised across the corpus).
+
+        Descriptor setup, the size/end-of-document commands and the result-return
+        DMA all overlap with the bulk transfer of the neighbouring documents, so only
+        the wire time of the padded payload plus the non-overlappable per-document
+        software cost remains on the critical path.
+        """
+        words = self.dma.words_for(n_bytes)
+        transfer = words * self.dma.word_bytes / self.link.practical_bandwidth_bytes
+        self.dma.total_bytes += n_bytes
+        self.dma.total_transfers += 1
+        commands = 0.0
+        residual_engine = max(0.0, engine_seconds - transfer)
+        return DocumentTiming(
+            transfer=transfer,
+            commands=commands,
+            synchronization=residual_engine,
+            software=self.params.software_overhead_seconds,
+        )

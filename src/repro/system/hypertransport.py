@@ -1,0 +1,80 @@
+"""HyperTransport link model.
+
+Section 4: *"The processor and FPGAs communicate over non-coherent HyperTransport,
+which has a peak bandwidth of 1.6 GB/sec in each direction.  Currently, the
+XtremeData system's maximum throughput is 500 MB/sec."*
+
+The model is a simple bandwidth/latency pipe: a transfer of ``n`` bytes takes
+``latency + n / effective_bandwidth`` seconds, where the effective bandwidth is the
+practical limit of the board revision (not the HT spec peak).  Register accesses are
+small fixed-latency operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HyperTransportLink"]
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+@dataclass
+class HyperTransportLink:
+    """Point-to-point host↔FPGA link.
+
+    Parameters
+    ----------
+    peak_bandwidth_bytes:
+        Peak bandwidth of the interconnect in bytes/second (1.6 GB/s per direction
+        for HyperTransport on the XD1000).
+    practical_bandwidth_bytes:
+        Sustained bandwidth actually achievable on the board revision used in the
+        paper (500 MB/s); all bulk transfers are paced at this rate.
+    register_access_seconds:
+        Latency of a single memory-mapped register read or write (hundreds of
+        nanoseconds over HT; the default is 0.5 µs).
+    dma_latency_seconds:
+        Fixed startup latency of a DMA transfer (descriptor fetch and first-beat
+        latency).
+    """
+
+    peak_bandwidth_bytes: float = 1.6 * GB
+    practical_bandwidth_bytes: float = 500 * MB
+    register_access_seconds: float = 0.5e-6
+    dma_latency_seconds: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.practical_bandwidth_bytes <= 0 or self.peak_bandwidth_bytes <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.practical_bandwidth_bytes > self.peak_bandwidth_bytes:
+            raise ValueError("practical bandwidth cannot exceed the peak bandwidth")
+        if self.register_access_seconds < 0 or self.dma_latency_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+
+    # ------------------------------------------------------------ transfers
+
+    def bulk_transfer_seconds(self, n_bytes: int) -> float:
+        """Time to move ``n_bytes`` of bulk (DMA) data across the link."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.dma_latency_seconds + n_bytes / self.practical_bandwidth_bytes
+
+    def register_access_seconds_total(self, accesses: int = 1) -> float:
+        """Time consumed by ``accesses`` memory-mapped register reads/writes."""
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        return accesses * self.register_access_seconds
+
+    @property
+    def practical_bandwidth_mb(self) -> float:
+        """Practical bandwidth in MB/s (the paper's 500 MB/s)."""
+        return self.practical_bandwidth_bytes / MB
+
+    @property
+    def peak_bandwidth_gb(self) -> float:
+        """Peak bandwidth in GB/s (the paper's 1.6 GB/s)."""
+        return self.peak_bandwidth_bytes / GB

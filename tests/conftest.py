@@ -1,0 +1,57 @@
+"""Shared fixtures: a small deterministic synthetic corpus and derived artifacts.
+
+All fixtures are session-scoped so the (relatively) expensive corpus generation and
+profile building happen once per test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import build_profiles
+from repro.corpus.corpus import Corpus, build_jrc_acquis_like
+
+#: small but representative language set: two confusable pairs + two unrelated
+TEST_LANGUAGES = ("en", "fr", "es", "pt", "fi", "et")
+
+#: profile size used by the test fixtures (small to keep the suite fast)
+TEST_PROFILE_SIZE = 1500
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """A small synthetic corpus over six languages."""
+    return build_jrc_acquis_like(
+        languages=TEST_LANGUAGES,
+        docs_per_language=12,
+        words_per_document=250,
+        seed=1234,
+    )
+
+
+@pytest.fixture(scope="session")
+def train_test_split(corpus):
+    """A deterministic 25/75 train/test split of the session corpus."""
+    return corpus.split(train_fraction=0.25, seed=99)
+
+
+@pytest.fixture(scope="session")
+def train_corpus(train_test_split):
+    return train_test_split[0]
+
+
+@pytest.fixture(scope="session")
+def test_corpus(train_test_split):
+    return train_test_split[1]
+
+
+@pytest.fixture(scope="session")
+def profiles(train_corpus):
+    """Language profiles built from the training half of the session corpus."""
+    return build_profiles(train_corpus.texts_by_language(), n=4, t=TEST_PROFILE_SIZE)
+
+
+@pytest.fixture(scope="session")
+def sample_document(test_corpus):
+    """One test document (English unless the corpus ordering changes)."""
+    return test_corpus.documents[0]

@@ -1,0 +1,120 @@
+"""Unit tests for the hardware Bloom filter engine (single language)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import ParallelBloomFilter
+from repro.hardware.bloom_engine import HardwareBloomFilter
+from repro.hashes.h3 import H3Family
+
+
+def _keys(count, seed=0):
+    return np.unique(np.random.default_rng(seed).integers(0, 1 << 20, size=count, dtype=np.uint64))
+
+
+class TestProgramming:
+    def test_program_counts_cycles(self):
+        engine = HardwareBloomFilter(m_bits=4096, k=3, seed=1)
+        keys = _keys(100)
+        cycles = engine.program_profile(keys)
+        assert cycles == keys.size
+        assert engine.ngrams_programmed == keys.size
+
+    def test_reset_clears_everything(self):
+        engine = HardwareBloomFilter(m_bits=4096, k=2, seed=1)
+        engine.program_profile(_keys(50))
+        engine.reset()
+        assert engine.ngrams_programmed == 0
+        assert engine.match_counter == 0
+        assert all(vector.fill_ratio == 0.0 for vector in engine.vectors)
+
+    def test_load_from_software_mirrors_bits(self):
+        software = ParallelBloomFilter(m_bits=4096, k=3, seed=7)
+        software.add_many(_keys(200))
+        engine = HardwareBloomFilter(m_bits=4096, k=3, hashes=software.hashes)
+        engine.load_from_software(software)
+        for i, vector in enumerate(engine.vectors):
+            assert np.array_equal(vector.snapshot(), software.bit_vectors[i])
+
+    def test_load_from_software_shape_mismatch(self):
+        software = ParallelBloomFilter(m_bits=4096, k=3, seed=7)
+        engine = HardwareBloomFilter(m_bits=8192, k=3, seed=7)
+        with pytest.raises(ValueError):
+            engine.load_from_software(software)
+
+    def test_m4k_accounting(self):
+        # 16 Kbit vectors need 4 M4Ks each; k=4 -> 16 blocks
+        engine = HardwareBloomFilter(m_bits=16 * 1024, k=4, seed=0)
+        assert engine.m4k_blocks_used == 16
+        assert engine.total_bits == 4 * 16 * 1024
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            HardwareBloomFilter(m_bits=5000, k=2)
+
+
+class TestTesting:
+    @pytest.fixture()
+    def programmed(self):
+        family = H3Family(k=3, key_bits=20, out_bits=12, seed=5)
+        engine = HardwareBloomFilter(m_bits=4096, k=3, hashes=family)
+        self_keys = _keys(150, seed=3)
+        engine.program_profile(self_keys)
+        return engine, self_keys
+
+    def test_members_match(self, programmed):
+        engine, keys = programmed
+        results = []
+        for key in keys[:20]:
+            results.extend(engine.test_lanes(np.asarray([key], dtype=np.uint64)))
+        assert all(results)
+
+    def test_dual_lane_test(self, programmed):
+        engine, keys = programmed
+        results = engine.test_lanes(keys[:2])
+        assert results == [True, True]
+
+    def test_too_many_lanes_rejected(self, programmed):
+        engine, keys = programmed
+        with pytest.raises(ValueError):
+            engine.test_lanes(keys[:3])
+
+    def test_match_counter_accumulates(self, programmed):
+        engine, keys = programmed
+        engine.match_counter = 0
+        for start in range(0, 20, 2):
+            engine.test_lanes(keys[start : start + 2])
+        assert engine.match_counter == 20
+
+    def test_fast_path_matches_cycle_accurate(self, programmed):
+        engine, keys = programmed
+        probes = np.concatenate([keys[:30], _keys(30, seed=99)])
+        # cycle-accurate pass
+        engine.match_counter = 0
+        for start in range(0, probes.size, 2):
+            engine.test_lanes(probes[start : start + 2])
+        slow_count = engine.match_counter
+        # vectorized pass
+        engine.match_counter = 0
+        fast_count, cycles = engine.test_stream_fast(probes)
+        assert fast_count == slow_count
+        assert cycles == -(-probes.size // 2)
+
+    def test_fast_path_empty(self, programmed):
+        engine, _keys_ = programmed
+        assert engine.test_stream_fast(np.empty(0, dtype=np.uint64)) == (0, 0)
+
+    def test_agreement_with_software_filter(self):
+        family = H3Family(k=4, key_bits=20, out_bits=13, seed=11)
+        software = ParallelBloomFilter(m_bits=8192, k=4, hashes=family)
+        members = _keys(500, seed=1)
+        software.add_many(members)
+        engine = HardwareBloomFilter(m_bits=8192, k=4, hashes=family)
+        engine.load_from_software(software)
+        probes = _keys(400, seed=2)
+        matches, _ = engine.test_stream_fast(probes)
+        assert matches == int(software.contains_many(probes).sum())
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            HardwareBloomFilter(m_bits=4096, k=2, lanes=0)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate-corpus", "train", "classify", "evaluate", "sweep", "tables"):
+            args = {
+                "generate-corpus": ["generate-corpus", "--output", "x"],
+                "train": ["train", "--corpus", "c", "--output", "o"],
+                "classify": ["classify", "--profiles", "p", "file.txt"],
+                "evaluate": ["evaluate"],
+                "sweep": ["sweep"],
+                "tables": ["tables"],
+            }[command]
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+
+class TestEndToEndCLI:
+    def test_generate_train_classify_roundtrip(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        profiles_path = tmp_path / "profiles.json"
+
+        exit_code = main(
+            [
+                "generate-corpus",
+                "--languages", "en,fr",
+                "--docs-per-language", "4",
+                "--words-per-document", "150",
+                "--seed", "3",
+                "--output", str(corpus_dir),
+            ]
+        )
+        assert exit_code == 0
+        assert (corpus_dir / "en").is_dir() and (corpus_dir / "fr").is_dir()
+        en_files = sorted((corpus_dir / "en").glob("*.txt"))
+        assert len(en_files) == 4
+
+        exit_code = main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(profiles_path),
+                "--profile-size", "800",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(profiles_path.read_text())
+        assert set(payload) == {"en", "fr"}
+
+        exit_code = main(
+            ["classify", "--profiles", str(profiles_path), str(en_files[0])]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "en" in output.splitlines()[-1]
+
+    def test_evaluate_prints_accuracy(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--languages", "en,fi",
+                "--docs-per-language", "6",
+                "--words-per-document", "150",
+                "--train-fraction", "0.34",
+                "--profile-size", "800",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "average accuracy" in output
+        assert "%" in output
+
+    def test_tables_prints_model_vs_paper(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output and "Table 3" in output
+        assert "1.4 GB/s" in output or "GB/s" in output

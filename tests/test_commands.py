@@ -1,0 +1,185 @@
+"""Unit tests for the command protocol and the FPGA-side state machine."""
+
+import numpy as np
+import pytest
+
+from repro.system.commands import (
+    Command,
+    CommandType,
+    DocumentFramer,
+    FPGACommandStateMachine,
+    ProtocolError,
+    document_to_words,
+    xor_checksum,
+)
+
+
+def _count_words(words: np.ndarray) -> dict:
+    """Toy classify callback: 'match count' is just the number of words per language."""
+    return {"en": int(words.size), "fr": 0}
+
+
+class TestChecksum:
+    def test_empty(self):
+        assert xor_checksum(np.empty(0, dtype=np.uint64)) == 0
+
+    def test_single_word(self):
+        assert xor_checksum(np.asarray([0xDEADBEEF], dtype=np.uint64)) == 0xDEADBEEF
+
+    def test_xor_property(self):
+        words = np.asarray([5, 9, 12], dtype=np.uint64)
+        assert xor_checksum(words) == 5 ^ 9 ^ 12
+
+    def test_pair_cancels(self):
+        words = np.asarray([7, 7], dtype=np.uint64)
+        assert xor_checksum(words) == 0
+
+
+class TestDocumentToWords:
+    def test_exact_multiple(self):
+        words = document_to_words(b"\x01" * 16)
+        assert words.size == 2
+
+    def test_padding(self):
+        words = document_to_words(b"\x01" * 9)
+        assert words.size == 2
+
+    def test_empty(self):
+        assert document_to_words(b"").size == 0
+
+    def test_little_endian_packing(self):
+        words = document_to_words(b"\x01\x00\x00\x00\x00\x00\x00\x00")
+        assert int(words[0]) == 1
+
+
+class TestDocumentFramer:
+    def test_frame_produces_size_then_eod_then_query(self):
+        commands, words = DocumentFramer().frame(b"hello world!")
+        assert [c.type for c in commands] == [
+            CommandType.SIZE,
+            CommandType.END_OF_DOCUMENT,
+            CommandType.QUERY_RESULT,
+        ]
+        assert commands[0].operand == words.size
+
+
+class TestStateMachine:
+    def _run_document(self, machine, data: bytes, chunks: int = 1):
+        commands, words = DocumentFramer().frame(data)
+        machine.submit_command(commands[0])
+        split = np.array_split(words, chunks) if words.size else []
+        for chunk in split:
+            if chunk.size:
+                machine.submit_dma_words(chunk)
+        machine.submit_command(commands[1])
+        machine.submit_command(commands[2])
+        return machine.read_result(), words
+
+    def test_in_order_document(self):
+        machine = FPGACommandStateMachine(_count_words)
+        result, words = self._run_document(machine, b"some document body text")
+        assert result.valid
+        assert result.words_received == words.size
+        assert result.checksum == xor_checksum(words)
+        assert result.match_counts["en"] == words.size
+        assert machine.documents_processed == 1
+
+    def test_chunked_dma(self):
+        machine = FPGACommandStateMachine(_count_words)
+        result, words = self._run_document(machine, b"x" * 100, chunks=4)
+        assert result.words_received == words.size
+
+    def test_commands_before_data_are_held(self):
+        # EOD and QUERY arrive before the DMA data: they must wait (Section 4)
+        machine = FPGACommandStateMachine(_count_words)
+        commands, words = DocumentFramer().frame(b"out of order arrival")
+        machine.submit_command(commands[0])
+        machine.submit_command(commands[1])
+        machine.submit_command(commands[2])
+        assert machine.documents_processed == 0
+        machine.submit_dma_words(words)
+        result = machine.read_result()
+        assert result.valid and result.words_received == words.size
+
+    def test_multiple_documents_sequentially(self):
+        machine = FPGACommandStateMachine(_count_words)
+        for payload in (b"first document", b"second, slightly longer document", b"third"):
+            result, words = self._run_document(machine, payload)
+            assert result.words_received == words.size
+        assert machine.documents_processed == 3
+
+    def test_dma_without_size_command_rejected(self):
+        machine = FPGACommandStateMachine(_count_words)
+        with pytest.raises(ProtocolError):
+            machine.submit_dma_words(np.asarray([1], dtype=np.uint64))
+
+    def test_too_many_words_rejected(self):
+        machine = FPGACommandStateMachine(_count_words)
+        machine.submit_command(Command(CommandType.SIZE, operand=1))
+        with pytest.raises(ProtocolError):
+            machine.submit_dma_words(np.asarray([1, 2], dtype=np.uint64))
+
+    def test_read_result_without_document(self):
+        machine = FPGACommandStateMachine(_count_words)
+        with pytest.raises(ProtocolError):
+            machine.read_result()
+
+    def test_watchdog_resets_stalled_document(self):
+        machine = FPGACommandStateMachine(_count_words, watchdog_cycles=3)
+        machine.submit_command(Command(CommandType.SIZE, operand=10))
+        machine.submit_dma_words(np.asarray([1, 2], dtype=np.uint64))  # incomplete
+        for _ in range(3):
+            machine.tick()
+        assert machine.watchdog_resets == 1
+        assert machine.state == machine.IDLE
+        # the machine accepts a fresh document afterwards
+        result, words = self._run_document(machine, b"recovered after watchdog")
+        assert result.words_received == words.size
+
+    def test_watchdog_not_triggered_when_progressing(self):
+        machine = FPGACommandStateMachine(_count_words, watchdog_cycles=2)
+        machine.submit_command(Command(CommandType.SIZE, operand=4))
+        machine.tick()
+        machine.submit_dma_words(np.asarray([1], dtype=np.uint64))
+        machine.tick()
+        machine.submit_dma_words(np.asarray([2], dtype=np.uint64))
+        machine.tick()
+        machine.submit_dma_words(np.asarray([3, 4], dtype=np.uint64))
+        assert machine.watchdog_resets == 0
+
+    def test_reset_command(self):
+        machine = FPGACommandStateMachine(_count_words)
+        machine.submit_command(Command(CommandType.SIZE, operand=4))
+        machine.submit_command(Command(CommandType.RESET))
+        assert machine.state == machine.IDLE
+
+    def test_zero_length_document(self):
+        machine = FPGACommandStateMachine(_count_words)
+        result, _words = self._run_document(machine, b"")
+        assert result.words_received == 0
+        assert result.checksum == 0
+
+    def test_pipelined_commands_queue_behind_outstanding_data(self):
+        # The host pipelines the next document's commands before the previous
+        # document's DMA data has landed; the state machine must hold them until the
+        # outstanding words arrive (Section 4's asynchronous-arrival handling).
+        machine = FPGACommandStateMachine(_count_words)
+        first_cmds, first_words = DocumentFramer().frame(b"document number one")
+        second_cmds, second_words = DocumentFramer().frame(b"document number two ...")
+        machine.submit_command(first_cmds[0])       # SIZE 1
+        machine.submit_command(first_cmds[1])       # EOD 1 (data not yet arrived)
+        machine.submit_command(second_cmds[0])      # SIZE 2 queued behind EOD 1
+        assert machine.documents_processed == 0
+        machine.submit_dma_words(first_words)       # first document completes now
+        first_result = machine.read_result()
+        assert first_result.words_received == first_words.size
+        assert machine.documents_processed == 1
+        # the queued SIZE command has taken effect for the second document
+        machine.submit_dma_words(second_words)
+        machine.submit_command(second_cmds[1])      # EOD 2
+        assert machine.read_result().words_received == second_words.size
+        assert machine.documents_processed == 2
+
+    def test_invalid_watchdog(self):
+        with pytest.raises(ValueError):
+            FPGACommandStateMachine(_count_words, watchdog_cycles=0)

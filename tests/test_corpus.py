@@ -1,0 +1,226 @@
+"""Unit tests for the corpus containers and the synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
+from repro.corpus.generator import DocumentGenerator, SyntheticCorpusBuilder, build_vocabulary
+from repro.corpus.languages import (
+    CONFUSABLE_PAIRS,
+    LANGUAGES,
+    PAPER_LANGUAGES,
+    get_language,
+)
+
+
+class TestLanguageSpecs:
+    def test_all_paper_languages_present(self):
+        assert set(PAPER_LANGUAGES) <= set(LANGUAGES)
+
+    def test_paper_uses_ten_languages(self):
+        assert len(PAPER_LANGUAGES) == 10
+
+    def test_specs_have_vocabulary_material(self):
+        for spec in LANGUAGES.values():
+            assert len(spec.common_words) >= 40
+            assert len(spec.syllables) >= 30
+
+    def test_confusable_pairs_are_symmetric(self):
+        for a, b in CONFUSABLE_PAIRS:
+            assert LANGUAGES[a].related == b
+            assert LANGUAGES[b].related == a
+
+    def test_get_language(self):
+        assert get_language("en").name == "English"
+
+    def test_get_language_unknown(self):
+        with pytest.raises(KeyError, match="unknown language code"):
+            get_language("zz")
+
+    def test_related_languages_share_vocabulary(self):
+        es = set(build_vocabulary(get_language("es")))
+        pt = set(build_vocabulary(get_language("pt")))
+        en = set(build_vocabulary(get_language("en")))
+        assert len(es & pt) > len(es & en)
+
+
+class TestDocumentGenerator:
+    def test_document_has_requested_length(self):
+        gen = DocumentGenerator("en", seed=1)
+        doc = gen.generate_document(n_words=200)
+        assert 150 <= len(doc.split()) <= 260  # numeric insertions may add tokens
+
+    def test_deterministic_for_same_seed_and_index(self):
+        a = DocumentGenerator("fr", seed=7).generate_document(100, index=3)
+        b = DocumentGenerator("fr", seed=7).generate_document(100, index=3)
+        assert a == b
+
+    def test_different_indices_differ(self):
+        gen = DocumentGenerator("fr", seed=7)
+        assert gen.generate_document(100, index=0) != gen.generate_document(100, index=1)
+
+    def test_different_seeds_differ(self):
+        a = DocumentGenerator("fi", seed=1).generate_document(100, index=0)
+        b = DocumentGenerator("fi", seed=2).generate_document(100, index=0)
+        assert a != b
+
+    def test_vocabulary_independent_of_seed(self):
+        assert DocumentGenerator("et", seed=1).vocabulary == DocumentGenerator("et", seed=999).vocabulary
+
+    def test_generate_documents_count(self):
+        docs = DocumentGenerator("en", seed=0).generate_documents(5, words_per_document=80)
+        assert len(docs) == 5
+
+    def test_language_words_dominate(self):
+        gen = DocumentGenerator("en", seed=0, related_blend=0.0)
+        doc = gen.generate_document(500)
+        words = set(doc.lower().replace(".", "").split())
+        vocab = set(gen.vocabulary)
+        overlap = len([w for w in doc.lower().replace(".", "").split() if w in vocab])
+        assert overlap / len(doc.split()) > 0.9
+        assert words & set(get_language("en").common_words)
+
+    def test_related_blend_injects_sibling_words(self):
+        blended = DocumentGenerator("es", seed=3, related_blend=0.4).generate_document(800)
+        pure = DocumentGenerator("es", seed=3, related_blend=0.0).generate_document(800)
+        pt_vocab = set(build_vocabulary(get_language("pt"))) - set(build_vocabulary(get_language("es")))
+        blended_hits = sum(w in pt_vocab for w in blended.lower().replace(".", "").split())
+        pure_hits = sum(w in pt_vocab for w in pure.lower().replace(".", "").split())
+        assert blended_hits > pure_hits
+
+    def test_invalid_blend(self):
+        with pytest.raises(ValueError):
+            DocumentGenerator("en", related_blend=1.5)
+
+    def test_sentences_capitalised_and_terminated(self):
+        doc = DocumentGenerator("da", seed=5).generate_document(120)
+        first_sentence = doc.split(".")[0]
+        assert first_sentence[0].isupper() or first_sentence[0].isdigit()
+        assert doc.count(".") >= 3
+
+
+class TestSyntheticCorpusBuilder:
+    def test_build_shape(self):
+        corpus = SyntheticCorpusBuilder(
+            languages=("en", "fi"), docs_per_language=4, words_per_document=100, seed=0
+        ).build()
+        assert len(corpus) == 8
+        assert set(corpus.languages) == {"en", "fi"}
+
+    def test_default_languages_are_papers(self):
+        builder = SyntheticCorpusBuilder(docs_per_language=1, words_per_document=50)
+        assert builder.languages == PAPER_LANGUAGES
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusBuilder(languages=("en", "zz"), docs_per_language=1)
+
+    def test_invalid_docs_per_language(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusBuilder(languages=("en",), docs_per_language=0)
+
+    def test_build_jrc_acquis_like_convenience(self):
+        corpus = build_jrc_acquis_like(["en", "fr"], docs_per_language=3, words_per_document=60, seed=1)
+        assert len(corpus) == 6
+
+    def test_deterministic_builds(self):
+        a = build_jrc_acquis_like(["en", "es"], docs_per_language=2, words_per_document=50, seed=9)
+        b = build_jrc_acquis_like(["en", "es"], docs_per_language=2, words_per_document=50, seed=9)
+        assert [d.text for d in a] == [d.text for d in b]
+
+
+class TestDocument:
+    def test_size_bytes(self):
+        doc = Document("d1", "en", "abcd")
+        assert doc.size_bytes == 4
+
+    def test_size_bytes_latin1(self):
+        doc = Document("d1", "fr", "café")
+        assert doc.size_bytes == 4
+
+    def test_word_count(self):
+        assert Document("d", "en", "one two  three").word_count == 3
+
+
+class TestCorpus:
+    @pytest.fixture()
+    def small(self):
+        return Corpus(
+            [
+                Document("a1", "en", "alpha beta gamma"),
+                Document("a2", "en", "delta epsilon"),
+                Document("b1", "fr", "un deux trois"),
+            ]
+        )
+
+    def test_len_and_iteration(self, small):
+        assert len(small) == 3
+        assert len(list(small)) == 3
+
+    def test_getitem(self, small):
+        assert small[0].doc_id == "a1"
+
+    def test_languages_order(self, small):
+        assert small.languages == ["en", "fr"]
+
+    def test_by_language(self, small):
+        groups = small.by_language()
+        assert len(groups["en"]) == 2 and len(groups["fr"]) == 1
+
+    def test_texts_by_language(self, small):
+        texts = small.texts_by_language()
+        assert texts["fr"] == ["un deux trois"]
+
+    def test_total_bytes(self, small):
+        assert small.total_bytes == sum(d.size_bytes for d in small)
+
+    def test_stats(self, small):
+        stats = small.stats()
+        assert stats["documents"] == 3
+        assert stats["languages"] == 2
+        assert stats["per_language"]["en"]["documents"] == 2
+
+    def test_add(self, small):
+        small.add(Document("c1", "es", "uno dos"))
+        assert len(small) == 4
+
+    def test_filter(self, small):
+        filtered = small.filter(lambda d: d.language == "en")
+        assert len(filtered) == 2
+
+    def test_restrict_languages(self, small):
+        assert len(small.restrict_languages(["fr"])) == 1
+
+    def test_shuffled_is_permutation(self, corpus):
+        shuffled = corpus.shuffled(seed=4)
+        assert len(shuffled) == len(corpus)
+        assert {d.doc_id for d in shuffled} == {d.doc_id for d in corpus}
+        assert [d.doc_id for d in shuffled] != [d.doc_id for d in corpus]
+
+    def test_split_stratified(self, corpus):
+        train, test = corpus.split(train_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(corpus)
+        assert set(train.languages) == set(corpus.languages)
+        # 25% of 12 documents per language = 3 training documents per language
+        for language, docs in train.by_language().items():
+            assert len(docs) == 3
+
+    def test_split_every_language_has_training_data(self, corpus):
+        train, _test = corpus.split(train_fraction=0.01, seed=0)
+        for docs in train.by_language().values():
+            assert len(docs) >= 1
+
+    def test_split_deterministic(self, corpus):
+        a_train, _ = corpus.split(0.25, seed=5)
+        b_train, _ = corpus.split(0.25, seed=5)
+        assert [d.doc_id for d in a_train] == [d.doc_id for d in b_train]
+
+    def test_split_no_overlap(self, corpus):
+        train, test = corpus.split(0.25, seed=1)
+        assert not ({d.doc_id for d in train} & {d.doc_id for d in test})
+
+    def test_split_invalid_fraction(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.split(train_fraction=0.0)
+        with pytest.raises(ValueError):
+            corpus.split(train_fraction=1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for device inventories and utilisation accounting."""
+
+import pytest
+
+from repro.hardware.device import STRATIX_II_EP2S180, XILINX_XCV2000E, DeviceUsage, FPGADevice
+
+
+class TestDeviceInventories:
+    def test_stratix_has_768_m4ks(self):
+        # Section 5.1: "the 768 4 Kbit embedded RAMs available on the FPGA"
+        assert STRATIX_II_EP2S180.m4k_blocks == 768
+
+    def test_stratix_has_nine_mrams(self):
+        assert STRATIX_II_EP2S180.mram_blocks == 9
+
+    def test_stratix_vendor(self):
+        assert STRATIX_II_EP2S180.vendor == "Altera"
+
+    def test_xilinx_is_hail_target(self):
+        assert XILINX_XCV2000E.vendor == "Xilinx"
+        assert XILINX_XCV2000E.off_chip_sram_mbytes > 0
+
+    def test_total_embedded_ram_bits(self):
+        device = FPGADevice("x", "v", 100, 100, m512_blocks=2, m4k_blocks=3, mram_blocks=1)
+        assert device.total_embedded_ram_bits == 2 * 512 + 3 * 4096 + 512 * 1024
+
+
+class TestDeviceUsage:
+    def test_utilisation_ratios(self):
+        usage = DeviceUsage(device=STRATIX_II_EP2S180, logic_cells=71760, m4k_blocks=384)
+        assert usage.logic_utilization == pytest.approx(0.5)
+        assert usage.m4k_utilization == pytest.approx(0.5)
+
+    def test_fits_within_inventory(self):
+        usage = DeviceUsage(device=STRATIX_II_EP2S180, logic_cells=1000, m4k_blocks=100)
+        assert usage.fits()
+        assert usage.overcommitted_resources() == []
+
+    def test_detects_overcommitment(self):
+        usage = DeviceUsage(device=STRATIX_II_EP2S180, m4k_blocks=1000)
+        assert not usage.fits()
+        assert usage.overcommitted_resources() == ["m4k_blocks"]
+
+    def test_multiple_overcommitments(self):
+        usage = DeviceUsage(
+            device=XILINX_XCV2000E, logic_cells=10**6, registers=10**6, m4k_blocks=1
+        )
+        over = usage.overcommitted_resources()
+        assert "logic_cells" in over and "registers" in over and "m4k_blocks" in over
+
+    def test_zero_total_ratio(self):
+        usage = DeviceUsage(device=XILINX_XCV2000E, mram_blocks=0)
+        assert usage.mram_utilization == 0.0
+
+    def test_paper_30_language_build_fits(self):
+        # Table 3, second row: 85,924 logic / 768 M4K / 66 M512 / 6 M-RAM
+        usage = DeviceUsage(
+            device=STRATIX_II_EP2S180,
+            logic_cells=85_924,
+            registers=68_423,
+            m512_blocks=66,
+            m4k_blocks=768,
+            mram_blocks=6,
+        )
+        assert usage.fits()
+        assert 0.5 < usage.logic_utilization < 0.67  # "between a third and two-thirds"

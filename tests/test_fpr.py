@@ -1,0 +1,128 @@
+"""Unit tests for the analytical false-positive model (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.fpr import (
+    PAPER_PROFILE_SIZE,
+    PAPER_TABLE1_FP_PER_THOUSAND,
+    expected_matches,
+    false_positive_rate,
+    false_positive_rate_classic,
+    false_positives_per_thousand,
+    memory_bits_per_language,
+    optimal_k,
+    required_bits_per_vector,
+)
+
+
+class TestFalsePositiveRate:
+    def test_formula_matches_definition(self):
+        n, m, k = 5000, 16384, 4
+        expected = (1 - math.exp(-n / m)) ** k
+        assert false_positive_rate(n, m, k) == pytest.approx(expected)
+
+    def test_zero_items_gives_zero_rate(self):
+        assert false_positive_rate(0, 4096, 4) == 0.0
+
+    def test_rate_increases_with_items(self):
+        assert false_positive_rate(10000, 8192, 4) > false_positive_rate(1000, 8192, 4)
+
+    def test_rate_decreases_with_memory(self):
+        assert false_positive_rate(5000, 16384, 4) < false_positive_rate(5000, 4096, 4)
+
+    def test_rate_decreases_with_hash_functions_in_parallel_filter(self):
+        # each extra hash brings its own bit-vector, so more hashes always help
+        assert false_positive_rate(5000, 8192, 5) < false_positive_rate(5000, 8192, 2)
+
+    def test_rate_bounded_by_one(self):
+        assert 0.0 <= false_positive_rate(10**7, 1024, 2) <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(-1, 1024, 2)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 0, 2)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 1024, 0)
+
+    @pytest.mark.parametrize(("m_kbits", "k"), sorted(PAPER_TABLE1_FP_PER_THOUSAND))
+    def test_reproduces_paper_table1_fp_column(self, m_kbits, k):
+        """The model reproduces every 'false positives per thousand' entry of Table 1."""
+        expected = PAPER_TABLE1_FP_PER_THOUSAND[(m_kbits, k)]
+        computed = false_positives_per_thousand(PAPER_PROFILE_SIZE, m_kbits * 1024, k)
+        assert round(computed) == expected
+
+
+class TestClassicFilter:
+    def test_classic_is_worse_than_parallel_for_same_per_vector_memory(self):
+        # classic puts k*N bits of pressure on one m-bit vector
+        n, m, k = 5000, 16384, 4
+        assert false_positive_rate_classic(n, m, k) > false_positive_rate(n, m, k)
+
+    def test_classic_formula(self):
+        n, m, k = 1000, 8192, 3
+        expected = (1 - math.exp(-k * n / m)) ** k
+        assert false_positive_rate_classic(n, m, k) == pytest.approx(expected)
+
+    def test_classic_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            false_positive_rate_classic(10, -5, 2)
+
+
+class TestSizingHelpers:
+    def test_optimal_k_classic_rule(self):
+        assert optimal_k(5000, 16384) == max(1, round(16384 / 5000 * math.log(2)))
+
+    def test_optimal_k_at_least_one(self):
+        assert optimal_k(100000, 1024) == 1
+
+    def test_optimal_k_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_k(0, 100)
+
+    def test_required_bits_inverts_rate(self):
+        n, k, target = 5000, 4, 0.005
+        m = required_bits_per_vector(n, k, target)
+        assert false_positive_rate(n, m, k) <= target
+        assert false_positive_rate(n, m - 200, k) > target * 0.8
+
+    def test_required_bits_monotone_in_target(self):
+        assert required_bits_per_vector(5000, 4, 0.001) > required_bits_per_vector(5000, 4, 0.1)
+
+    def test_required_bits_invalid(self):
+        with pytest.raises(ValueError):
+            required_bits_per_vector(5000, 4, 1.5)
+        with pytest.raises(ValueError):
+            required_bits_per_vector(0, 4, 0.01)
+
+    def test_memory_bits_per_language_space_efficient_config(self):
+        # Section 5.2: k=6 with one 4 Kbit RAM per vector uses "just 24 Kbits per language"
+        assert memory_bits_per_language(4096, 6) == 24 * 1024
+
+    def test_memory_bits_invalid(self):
+        with pytest.raises(ValueError):
+            memory_bits_per_language(0, 4)
+
+
+class TestExpectedMatches:
+    def test_all_members_match(self):
+        assert expected_matches(1000, 1.0, 5000, 16384, 4) == pytest.approx(1000)
+
+    def test_no_members_only_false_positives(self):
+        fpr = false_positive_rate(5000, 16384, 4)
+        assert expected_matches(1000, 0.0, 5000, 16384, 4) == pytest.approx(1000 * fpr)
+
+    def test_mixture(self):
+        fpr = false_positive_rate(5000, 8192, 3)
+        expected = 600 + 400 * fpr
+        assert expected_matches(1000, 0.6, 5000, 8192, 3) == pytest.approx(expected)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            expected_matches(10, 1.5, 100, 1024, 2)
+
+    def test_invalid_tests(self):
+        with pytest.raises(ValueError):
+            expected_matches(-1, 0.5, 100, 1024, 2)

@@ -1,0 +1,100 @@
+"""Unit tests for the host driver timing models (synchronous vs asynchronous)."""
+
+import pytest
+
+from repro.system.host import (
+    AsynchronousHostDriver,
+    HostTimingParameters,
+    SynchronousHostDriver,
+)
+from repro.system.hypertransport import HyperTransportLink
+
+#: the paper's average document size (484 MB / 52,581 documents ≈ 9.2 KB)
+AVERAGE_DOC_BYTES = 9206
+
+
+def _throughput(driver, size=AVERAGE_DOC_BYTES):
+    return size / driver.document_seconds(size).total / 1e6
+
+
+class TestSynchronousDriver:
+    def test_throughput_matches_paper(self):
+        # Section 5.4: ~228 MB/s for the interrupt-synchronised version
+        assert _throughput(SynchronousHostDriver()) == pytest.approx(228, rel=0.05)
+
+    def test_interrupt_latency_dominates_small_documents(self):
+        driver = SynchronousHostDriver()
+        small = _throughput(driver, size=1000)
+        large = _throughput(driver, size=100_000)
+        assert small < large / 3
+
+    def test_breakdown_components_positive(self):
+        timing = SynchronousHostDriver().document_seconds(AVERAGE_DOC_BYTES)
+        assert timing.transfer > 0
+        assert timing.synchronization > 0
+        assert timing.total == pytest.approx(
+            timing.transfer + timing.commands + timing.synchronization + timing.software
+        )
+
+    def test_slow_engine_extends_synchronization(self):
+        driver = SynchronousHostDriver()
+        fast_engine = driver.document_seconds(10_000, engine_seconds=1e-6)
+        slow_engine = driver.document_seconds(10_000, engine_seconds=1e-3)
+        assert slow_engine.total > fast_engine.total
+
+    def test_corpus_seconds_sums_documents(self):
+        driver = SynchronousHostDriver()
+        sizes = [1000, 2000, 3000]
+        total = driver.corpus_seconds(sizes)
+        assert total == pytest.approx(sum(driver.document_seconds(s).total for s in sizes))
+
+
+class TestAsynchronousDriver:
+    def test_throughput_matches_paper(self):
+        # Section 5.4: ~470 MB/s for the asynchronous version
+        assert _throughput(AsynchronousHostDriver()) == pytest.approx(470, rel=0.05)
+
+    def test_faster_than_synchronous(self):
+        # "The version of the software with tight synchronization shows half the
+        # throughput of the asynchronous version."
+        ratio = _throughput(AsynchronousHostDriver()) / _throughput(SynchronousHostDriver())
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_bounded_by_link_bandwidth(self):
+        driver = AsynchronousHostDriver()
+        assert _throughput(driver, size=10_000_000) <= 500.0
+
+    def test_throughput_consistent_across_file_sizes(self):
+        # Section 5.4: "holds for files with sizes varying from a few Kilobytes to
+        # several Megabytes"
+        driver = AsynchronousHostDriver()
+        small = _throughput(driver, size=4000)
+        large = _throughput(driver, size=4_000_000)
+        assert small > 0.85 * large
+
+    def test_programming_time_calibration(self):
+        # ten languages x 5000 n-grams x 4 copies ≈ 0.25 s of programming
+        driver = AsynchronousHostDriver()
+        assert driver.programming_seconds(10 * 5000 * 4) == pytest.approx(0.25, rel=0.01)
+
+    def test_programming_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AsynchronousHostDriver().programming_seconds(-1)
+
+
+class TestCustomisation:
+    def test_custom_link_bandwidth_scales_throughput(self):
+        fast_link = HyperTransportLink(practical_bandwidth_bytes=1.4e9)
+        driver = AsynchronousHostDriver(link=fast_link)
+        assert _throughput(driver, size=100_000) > 1000
+
+    def test_custom_interrupt_latency(self):
+        slow = SynchronousHostDriver(
+            params=HostTimingParameters(interrupt_latency_seconds=100e-6)
+        )
+        assert _throughput(slow) < 100
+
+    def test_drivers_share_parameter_object(self):
+        params = HostTimingParameters(software_overhead_seconds=0.0)
+        driver = AsynchronousHostDriver(params=params)
+        assert driver.document_seconds(8000).software == 0.0

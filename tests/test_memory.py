@@ -1,0 +1,159 @@
+"""Unit tests for embedded RAM blocks and bit-vector memories."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.memory import BitVectorMemory, EmbeddedRAM, PortConflictError, RAMKind
+
+
+class TestRAMKind:
+    def test_capacities(self):
+        assert RAMKind.M512.capacity_bits == 512
+        assert RAMKind.M4K.capacity_bits == 4096
+        assert RAMKind.MRAM.capacity_bits == 512 * 1024
+
+
+class TestEmbeddedRAM:
+    def test_starts_cleared(self):
+        ram = EmbeddedRAM()
+        ram.new_cycle()
+        assert ram.read_bit(0) is False
+        assert ram.fill_ratio == 0.0
+
+    def test_write_then_read(self):
+        ram = EmbeddedRAM()
+        ram.new_cycle()
+        ram.write_bit(100, True)
+        ram.new_cycle()
+        assert ram.read_bit(100) is True
+
+    def test_dual_port_allows_two_accesses_per_cycle(self):
+        ram = EmbeddedRAM(ports=2)
+        ram.new_cycle()
+        ram.read_bit(1)
+        ram.read_bit(2)  # second access is fine
+
+    def test_third_access_in_cycle_raises(self):
+        ram = EmbeddedRAM(ports=2)
+        ram.new_cycle()
+        ram.read_bit(1)
+        ram.write_bit(2, True)
+        with pytest.raises(PortConflictError):
+            ram.read_bit(3)
+
+    def test_new_cycle_resets_port_budget(self):
+        ram = EmbeddedRAM(ports=1)
+        ram.new_cycle()
+        ram.read_bit(0)
+        ram.new_cycle()
+        ram.read_bit(1)  # no conflict after the cycle boundary
+
+    def test_address_bounds(self):
+        ram = EmbeddedRAM(kind=RAMKind.M512)
+        ram.new_cycle()
+        with pytest.raises(IndexError):
+            ram.read_bit(512)
+        with pytest.raises(IndexError):
+            ram.write_bit(-1, True)
+
+    def test_clear(self):
+        ram = EmbeddedRAM()
+        ram.new_cycle()
+        ram.write_bit(5, True)
+        ram.clear()
+        ram.new_cycle()
+        assert ram.read_bit(5) is False
+
+    def test_access_counters(self):
+        ram = EmbeddedRAM()
+        ram.new_cycle()
+        ram.read_bit(0)
+        ram.write_bit(1, True)
+        assert ram.total_reads == 1
+        assert ram.total_writes == 1
+        assert ram.cycles_observed == 1
+
+    def test_load_and_snapshot(self):
+        ram = EmbeddedRAM(kind=RAMKind.M512)
+        bits = np.zeros(512, dtype=bool)
+        bits[[1, 10, 100]] = True
+        ram.load(bits)
+        assert np.array_equal(ram.snapshot(), bits)
+
+    def test_load_wrong_size(self):
+        ram = EmbeddedRAM(kind=RAMKind.M512)
+        with pytest.raises(ValueError):
+            ram.load(np.zeros(100, dtype=bool))
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            EmbeddedRAM(ports=0)
+
+
+class TestBitVectorMemory:
+    def test_block_count_for_16_kbit(self):
+        # the paper's conservative configuration: four M4Ks per 16 Kbit vector
+        assert BitVectorMemory(16 * 1024).n_blocks == 4
+
+    def test_block_count_for_4_kbit(self):
+        assert BitVectorMemory(4 * 1024).n_blocks == 1
+
+    def test_block_count_rounds_up(self):
+        assert BitVectorMemory(5000).n_blocks == 2
+
+    def test_write_and_read_across_blocks(self):
+        memory = BitVectorMemory(8 * 1024)
+        memory.new_cycle()
+        memory.write_bit(0, True)
+        memory.write_bit(5000, True)  # lands in the second block
+        memory.new_cycle()
+        assert memory.read_bit(0) is True
+        assert memory.read_bit(5000) is True
+        assert memory.read_bit(1) is False
+
+    def test_address_out_of_range(self):
+        memory = BitVectorMemory(4096)
+        memory.new_cycle()
+        with pytest.raises(IndexError):
+            memory.read_bit(4096)
+
+    def test_port_conflicts_tracked_per_block(self):
+        memory = BitVectorMemory(8 * 1024)
+        memory.new_cycle()
+        memory.read_bit(0)
+        memory.read_bit(1)
+        # both accesses hit block 0: a third access to block 0 conflicts, but block 1 is free
+        memory.read_bit(5000)
+        with pytest.raises(PortConflictError):
+            memory.read_bit(2)
+
+    def test_load_snapshot_roundtrip(self):
+        memory = BitVectorMemory(6000)
+        bits = np.random.default_rng(0).random(6000) < 0.1
+        memory.load(bits)
+        assert np.array_equal(memory.snapshot(), bits)
+
+    def test_load_wrong_length(self):
+        with pytest.raises(ValueError):
+            BitVectorMemory(4096).load(np.zeros(10, dtype=bool))
+
+    def test_clear(self):
+        memory = BitVectorMemory(4096)
+        memory.new_cycle()
+        memory.write_bit(17, True)
+        memory.clear()
+        assert memory.fill_ratio == 0.0
+
+    def test_fill_ratio(self):
+        memory = BitVectorMemory(1024)
+        bits = np.zeros(1024, dtype=bool)
+        bits[:256] = True
+        memory.load(bits)
+        assert memory.fill_ratio == pytest.approx(0.25)
+
+    def test_total_block_bits(self):
+        assert BitVectorMemory(5000).total_block_bits == 8192
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BitVectorMemory(0)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import ALPHABET_SIZE, SPACE_CODE, encode_text
+from repro.core.bloom import ParallelBloomFilter
+from repro.core.fpr import false_positive_rate
+from repro.core.ngram import pack_ngrams, top_ngrams, unpack_ngram
+from repro.core.profile import LanguageProfile
+from repro.hashes.h3 import H3Hash
+from repro.system.commands import document_to_words, xor_checksum
+
+# -- strategies -------------------------------------------------------------------
+
+latin1_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0xFF), max_size=400
+)
+keys_20bit = st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), max_size=300)
+
+
+# -- alphabet ----------------------------------------------------------------------
+
+
+@given(latin1_text)
+def test_encoding_always_produces_valid_codes(text):
+    codes = encode_text(text)
+    assert codes.size == len(text)
+    if codes.size:
+        assert int(codes.max()) < ALPHABET_SIZE
+
+
+ascii_text = st.text(alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=400)
+
+
+@given(ascii_text)
+def test_encoding_is_case_insensitive(text):
+    # ASCII-only: Python-level upper()/lower() of some Latin-1 characters (ÿ, ß)
+    # leaves the Latin-1 range entirely, which is a str-level artefact rather than a
+    # property of the byte-level translation table (covered by unit tests instead).
+    assert np.array_equal(encode_text(text.lower()), encode_text(text.upper()))
+
+
+@given(latin1_text)
+def test_encoding_idempotent_after_decode_normalisation(text):
+    from repro.core.alphabet import decode_codes
+
+    codes = encode_text(text)
+    normalised = decode_codes(codes)
+    assert np.array_equal(encode_text(normalised), codes)
+
+
+# -- n-gram packing ----------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=0, max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_pack_unpack_roundtrip(codes, n):
+    codes = np.asarray(codes, dtype=np.uint8)
+    packed = pack_ngrams(codes, n=n)
+    expected_count = max(0, codes.size - n + 1)
+    assert packed.size == expected_count
+    for offset, value in enumerate(packed.tolist()):
+        assert unpack_ngram(value, n=n) == tuple(codes[offset : offset + n].tolist())
+
+
+@given(latin1_text)
+def test_ngram_count_is_length_minus_three(text):
+    codes = encode_text(text)
+    packed = pack_ngrams(codes, n=4)
+    assert packed.size == max(0, len(text) - 3)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+       st.integers(min_value=1, max_value=50))
+def test_top_ngrams_counts_sorted_and_bounded(values, t):
+    packed = np.asarray(values, dtype=np.uint64)
+    top_values, counts = top_ngrams(packed, t) if packed.size or t else (packed, packed)
+    if packed.size == 0:
+        return
+    assert top_values.size <= t
+    assert np.unique(top_values).size == top_values.size
+    assert all(counts[i] >= counts[i + 1] for i in range(counts.size - 1))
+    assert counts.sum() <= packed.size
+
+
+# -- H3 hashing --------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**32), keys_20bit)
+@settings(max_examples=30)
+def test_h3_linearity_property(seed, keys):
+    h = H3Hash(key_bits=20, out_bits=12, seed=seed % (2**31))
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size < 2:
+        return
+    xor_pairs = keys[:-1] ^ keys[1:]
+    assert np.array_equal(
+        h.hash_array(xor_pairs), h.hash_array(keys[:-1]) ^ h.hash_array(keys[1:])
+    )
+
+
+@given(keys_20bit)
+@settings(max_examples=30)
+def test_h3_output_always_in_range(keys):
+    h = H3Hash(key_bits=20, out_bits=14, seed=5)
+    keys = np.asarray(keys, dtype=np.uint64)
+    values = h.hash_array(keys)
+    if values.size:
+        assert int(values.max()) < (1 << 14)
+
+
+# -- Bloom filter ------------------------------------------------------------------
+
+
+@given(keys_20bit, st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_bloom_filter_never_has_false_negatives(keys, k):
+    filt = ParallelBloomFilter(m_bits=2048, k=k, seed=1)
+    keys = np.unique(np.asarray(keys, dtype=np.uint64))
+    filt.add_many(keys)
+    if keys.size:
+        assert filt.contains_many(keys).all()
+
+
+@given(keys_20bit, keys_20bit)
+@settings(max_examples=30, deadline=None)
+def test_bloom_filter_monotone_under_insertion(initial, extra):
+    """Adding more items can only turn negatives into positives, never the reverse."""
+    filt = ParallelBloomFilter(m_bits=2048, k=3, seed=2)
+    initial = np.asarray(initial, dtype=np.uint64)
+    extra = np.asarray(extra, dtype=np.uint64)
+    probes = np.arange(512, dtype=np.uint64)
+    filt.add_many(initial)
+    before = filt.contains_many(probes)
+    filt.add_many(extra)
+    after = filt.contains_many(probes)
+    assert not (before & ~after).any()
+
+
+@given(st.integers(min_value=0, max_value=100_000),
+       st.sampled_from([1024, 4096, 16384]),
+       st.integers(min_value=1, max_value=8))
+def test_fpr_model_is_a_probability_and_monotone_in_n(n_items, m_bits, k):
+    rate = false_positive_rate(n_items, m_bits, k)
+    assert 0.0 <= rate <= 1.0
+    assert rate <= false_positive_rate(n_items + 1000, m_bits, k) + 1e-12
+
+
+# -- profiles ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=400),
+       st.integers(min_value=1, max_value=100))
+@settings(max_examples=40)
+def test_profile_membership_matches_python_set(values, t):
+    packed = np.asarray(values, dtype=np.uint64)
+    profile = LanguageProfile.from_packed("xx", packed, t=t)
+    member_set = set(profile.ngrams.tolist())
+    probes = np.asarray(sorted(set(values))[:50], dtype=np.uint64)
+    expected = np.asarray([int(v) in member_set for v in probes], dtype=bool)
+    assert np.array_equal(profile.contains_many(probes), expected)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=400))
+@settings(max_examples=40)
+def test_profile_counts_never_exceed_stream_length(values):
+    packed = np.asarray(values, dtype=np.uint64)
+    profile = LanguageProfile.from_packed("xx", packed, t=50)
+    assert int(profile.counts.sum()) <= packed.size
+    assert (profile.counts > 0).all()
+
+
+# -- command protocol --------------------------------------------------------------
+
+
+@given(st.binary(max_size=500))
+def test_document_word_packing_preserves_content(data):
+    words = document_to_words(data)
+    assert words.size == (len(data) + 7) // 8
+    rebuilt = words.tobytes()[: len(data)]
+    assert rebuilt == data
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=100))
+def test_xor_checksum_self_inverse(words):
+    arr = np.asarray(words, dtype=np.uint64)
+    checksum = xor_checksum(arr)
+    doubled = np.concatenate([arr, arr])
+    assert xor_checksum(doubled) == 0
+    assert xor_checksum(np.concatenate([arr, np.asarray([checksum], dtype=np.uint64)])) == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the resource-utilisation model (Tables 2 and 3)."""
+
+import pytest
+
+from repro.hardware.device import STRATIX_II_EP2S180
+from repro.hardware.resources import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    ClassifierConfig,
+    estimate_classifier_resources,
+    estimate_device_utilization,
+    m4k_count,
+    m4ks_per_bitvector,
+    max_supported_languages,
+)
+
+
+class TestM4KAccounting:
+    def test_blocks_per_vector(self):
+        assert m4ks_per_bitvector(16 * 1024) == 4
+        assert m4ks_per_bitvector(8 * 1024) == 2
+        assert m4ks_per_bitvector(4 * 1024) == 1
+
+    def test_blocks_per_vector_rounds_up(self):
+        assert m4ks_per_bitvector(4097) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            m4ks_per_bitvector(0)
+        with pytest.raises(ValueError):
+            m4k_count(4096, 0, 1)
+
+    @pytest.mark.parametrize(("m_kbits", "k"), sorted(PAPER_TABLE2))
+    def test_m4k_count_matches_table2_exactly(self, m_kbits, k):
+        expected = PAPER_TABLE2[(m_kbits, k)]["m4k"]
+        assert m4k_count(m_kbits * 1024, k, languages=2, copies=4) == expected
+
+    def test_section51_configuration(self):
+        # Section 5.1: ten languages, 8 n-grams/clock, k=4, m=16 Kbit -> 640 M4Ks
+        assert m4k_count(16 * 1024, 4, languages=10, copies=4) == 640
+
+    def test_30_language_space_efficient_configuration(self):
+        assert m4k_count(4 * 1024, 6, languages=30, copies=4) == 720
+
+
+class TestClassifierConfig:
+    def test_derived_quantities(self):
+        config = ClassifierConfig(m_bits=16 * 1024, k=4, languages=10)
+        assert config.m_kbits == 16
+        assert config.ngrams_per_clock == 8
+        assert config.filter_instances == 40
+
+
+class TestClassifierResourceModel:
+    @pytest.mark.parametrize(("m_kbits", "k"), sorted(PAPER_TABLE2))
+    def test_logic_within_five_percent_of_paper(self, m_kbits, k):
+        estimate = estimate_classifier_resources(m_kbits * 1024, k)
+        paper = PAPER_TABLE2[(m_kbits, k)]["logic"]
+        assert estimate.logic == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize(("m_kbits", "k"), sorted(PAPER_TABLE2))
+    def test_registers_within_five_percent_of_paper(self, m_kbits, k):
+        estimate = estimate_classifier_resources(m_kbits * 1024, k)
+        paper = PAPER_TABLE2[(m_kbits, k)]["registers"]
+        assert estimate.registers == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize(("m_kbits", "k"), sorted(PAPER_TABLE2))
+    def test_fmax_within_three_percent_of_paper(self, m_kbits, k):
+        estimate = estimate_classifier_resources(m_kbits * 1024, k)
+        paper = PAPER_TABLE2[(m_kbits, k)]["fmax_mhz"]
+        assert estimate.fmax_mhz == pytest.approx(paper, rel=0.03)
+
+    def test_logic_grows_with_k(self):
+        small = estimate_classifier_resources(8 * 1024, 2)
+        large = estimate_classifier_resources(8 * 1024, 4)
+        assert large.logic > small.logic
+
+    def test_fmax_drops_with_larger_vectors(self):
+        narrow = estimate_classifier_resources(4 * 1024, 4)
+        wide = estimate_classifier_resources(16 * 1024, 4)
+        assert wide.fmax_mhz < narrow.fmax_mhz
+
+
+class TestDeviceUtilizationModel:
+    @pytest.mark.parametrize(("m_kbits", "k", "languages"), sorted(PAPER_TABLE3))
+    def test_logic_close_to_paper(self, m_kbits, k, languages):
+        estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+        assert estimate.logic == pytest.approx(PAPER_TABLE3[(m_kbits, k, languages)]["logic"], rel=0.02)
+
+    @pytest.mark.parametrize(("m_kbits", "k", "languages"), sorted(PAPER_TABLE3))
+    def test_registers_close_to_paper(self, m_kbits, k, languages):
+        estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+        assert estimate.registers == pytest.approx(
+            PAPER_TABLE3[(m_kbits, k, languages)]["registers"], rel=0.02
+        )
+
+    @pytest.mark.parametrize(("m_kbits", "k", "languages"), sorted(PAPER_TABLE3))
+    def test_m4k_close_to_paper(self, m_kbits, k, languages):
+        estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+        paper = PAPER_TABLE3[(m_kbits, k, languages)]["m4k"]
+        assert abs(estimate.m4k_blocks - paper) <= 8
+
+    @pytest.mark.parametrize(("m_kbits", "k", "languages"), sorted(PAPER_TABLE3))
+    def test_fmax_within_fifteen_percent(self, m_kbits, k, languages):
+        # fmax is dominated by place-and-route noise; the paper itself reports 182 MHz
+        # for the same module that runs at 194 MHz in the full build.
+        estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+        assert estimate.fmax_mhz == pytest.approx(
+            PAPER_TABLE3[(m_kbits, k, languages)]["fmax_mhz"], rel=0.15
+        )
+
+    def test_both_paper_builds_fit_the_device(self):
+        for (m_kbits, k, languages) in PAPER_TABLE3:
+            estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+            assert estimate.usage().fits()
+
+    def test_logic_utilisation_between_third_and_two_thirds(self):
+        # Section 5.3: "The logic elements used vary between a third and two-thirds of the total"
+        fractions = []
+        for (m_kbits, k, languages) in PAPER_TABLE3:
+            estimate = estimate_device_utilization(m_kbits * 1024, k, languages)
+            fractions.append(estimate.usage().logic_utilization)
+        assert min(fractions) > 0.25
+        assert max(fractions) < 0.67
+
+
+class TestMaxSupportedLanguages:
+    def test_conservative_configuration_supports_twelve(self):
+        # Section 5.2: "an implementation on our target FPGA supports only twelve languages"
+        assert max_supported_languages(16 * 1024, 4) == 12
+
+    def test_space_efficient_configuration_supports_thirty(self):
+        # Section 5.2: "support thirty languages" (after reserving infrastructure blocks)
+        assert max_supported_languages(4 * 1024, 6, reserved_m4ks=48) == 30
+
+    def test_reserving_blocks_reduces_languages(self):
+        assert max_supported_languages(16 * 1024, 4, reserved_m4ks=128) < 12
+
+    def test_device_too_small(self):
+        from repro.hardware.device import FPGADevice
+
+        tiny = FPGADevice("tiny", "x", 100, 100, m4k_blocks=4)
+        assert max_supported_languages(16 * 1024, 4, device=tiny) == 0
+
+    def test_more_hashes_fewer_languages(self):
+        assert max_supported_languages(4 * 1024, 6) < max_supported_languages(4 * 1024, 4)

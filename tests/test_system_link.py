@@ -1,0 +1,77 @@
+"""Unit tests for the HyperTransport link and DMA models."""
+
+import pytest
+
+from repro.system.dma import DMAController
+from repro.system.hypertransport import HyperTransportLink
+
+
+class TestHyperTransportLink:
+    def test_defaults_match_paper(self):
+        link = HyperTransportLink()
+        assert link.peak_bandwidth_gb == pytest.approx(1.6)
+        assert link.practical_bandwidth_mb == pytest.approx(500.0)
+
+    def test_bulk_transfer_time(self):
+        link = HyperTransportLink(dma_latency_seconds=0.0)
+        assert link.bulk_transfer_seconds(500_000_000) == pytest.approx(1.0)
+
+    def test_bulk_transfer_includes_latency(self):
+        link = HyperTransportLink(dma_latency_seconds=5e-6)
+        assert link.bulk_transfer_seconds(500) == pytest.approx(5e-6 + 500 / 500e6)
+
+    def test_zero_bytes_is_free(self):
+        assert HyperTransportLink().bulk_transfer_seconds(0) == 0.0
+
+    def test_register_access_accumulates(self):
+        link = HyperTransportLink(register_access_seconds=1e-6)
+        assert link.register_access_seconds_total(4) == pytest.approx(4e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            HyperTransportLink().bulk_transfer_seconds(-1)
+
+    def test_practical_cannot_exceed_peak(self):
+        with pytest.raises(ValueError):
+            HyperTransportLink(peak_bandwidth_bytes=100, practical_bandwidth_bytes=200)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            HyperTransportLink(practical_bandwidth_bytes=0)
+
+
+class TestDMAController:
+    def test_words_for_rounds_up_to_64_bit_words(self):
+        dma = DMAController(HyperTransportLink())
+        assert dma.words_for(16) == 2
+        assert dma.words_for(17) == 3
+        assert dma.words_for(0) == 0
+
+    def test_transfer_accounts_padded_words(self):
+        dma = DMAController(HyperTransportLink())
+        record = dma.transfer(100)
+        assert record.words == 13
+        assert record.padded_bytes == 104
+        assert record.seconds > 0
+
+    def test_transfer_statistics(self):
+        dma = DMAController(HyperTransportLink())
+        dma.transfer(100)
+        dma.transfer(200)
+        assert dma.total_transfers == 2
+        assert dma.total_bytes == 300
+
+    def test_fpga_initiated_transfer_has_no_descriptor_cost(self):
+        link = HyperTransportLink(register_access_seconds=10e-6, dma_latency_seconds=0.0)
+        dma = DMAController(link, descriptor_register_writes=3)
+        host_push = dma.transfer(64).seconds
+        fpga_push = dma.fpga_initiated_transfer(64).seconds
+        assert fpga_push < host_push
+
+    def test_invalid_word_size(self):
+        with pytest.raises(ValueError):
+            DMAController(HyperTransportLink(), word_bytes=0)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            DMAController(HyperTransportLink()).words_for(-1)

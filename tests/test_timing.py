@@ -1,0 +1,61 @@
+"""Unit tests for the clock/throughput arithmetic."""
+
+import pytest
+
+from repro.hardware.timing import (
+    EngineTiming,
+    cycles_for_document,
+    peak_ngrams_per_second,
+    peak_throughput_gb_per_second,
+    peak_throughput_mb_per_second,
+)
+
+
+class TestPeakRates:
+    def test_paper_headline_ngram_rate(self):
+        # Section 5.4: 194 MHz x 8 = 1,552 million n-grams per second
+        assert peak_ngrams_per_second(194, 8) == pytest.approx(1.552e9)
+
+    def test_paper_headline_throughput(self):
+        # "our design can perform language classification at a peak rate of 1.4 GB/sec"
+        assert peak_throughput_gb_per_second(194, 8) == pytest.approx(1.552, abs=0.16)
+        assert peak_throughput_gb_per_second(194, 8) >= 1.4
+
+    def test_mb_scale(self):
+        assert peak_throughput_mb_per_second(100, 8) == pytest.approx(800.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            peak_ngrams_per_second(0, 8)
+        with pytest.raises(ValueError):
+            peak_ngrams_per_second(194, 0)
+
+
+class TestCycles:
+    def test_zero_bytes(self):
+        assert cycles_for_document(0, 8) == 0
+
+    def test_rounding_up(self):
+        assert cycles_for_document(9, 8, pipeline_latency=0) == 2
+
+    def test_pipeline_latency_added(self):
+        assert cycles_for_document(8, 8, pipeline_latency=5) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cycles_for_document(-1, 8)
+        with pytest.raises(ValueError):
+            cycles_for_document(10, 0)
+
+
+class TestEngineTiming:
+    def test_seconds_for_bytes(self):
+        timing = EngineTiming(frequency_mhz=194, ngrams_per_clock=8)
+        ten_kb = timing.seconds_for_bytes(10_240)
+        # 1280 cycles + latency at 194 MHz ≈ 6.6 µs
+        assert ten_kb == pytest.approx(6.64e-6, rel=0.05)
+
+    def test_peak_properties_consistent(self):
+        timing = EngineTiming(frequency_mhz=170, ngrams_per_clock=8)
+        assert timing.peak_mb_per_second == pytest.approx(timing.peak_gb_per_second * 1000)
+        assert timing.ngrams_per_second == pytest.approx(170e6 * 8)

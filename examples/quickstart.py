@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: train a Bloom-filter n-gram language classifier and classify documents.
+"""Quickstart: train a language identifier, classify documents, save/load the model.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import BloomNGramClassifier, build_jrc_acquis_like
+import tempfile
+from pathlib import Path
+
+from repro import ClassifierConfig, LanguageIdentifier, build_jrc_acquis_like
 from repro.analysis.accuracy import evaluate_classifier
 from repro.analysis.reporting import format_percentage, format_table
 
@@ -22,26 +25,39 @@ def main() -> None:
           f"{len(corpus.languages)} languages")
 
     # 2. Train the paper's conservative configuration: 4-grams, top-5000 profiles,
-    #    k = 4 H3 hash functions, 16 Kbit bit-vectors per hash function.
-    classifier = BloomNGramClassifier(m_bits=16 * 1024, k=4, n=4, t=5000, seed=1)
-    classifier.fit(train)
-    print(f"trained {len(classifier.languages)} language profiles "
-          f"({classifier.memory_bits_per_language // 1024} Kbit of filter memory per language)")
+    #    k = 4 H3 hash functions, 16 Kbit bit-vectors, the Bloom-filter backend.
+    config = ClassifierConfig(m_bits=16 * 1024, k=4, n=4, t=5000, seed=1, backend="bloom")
+    identifier = LanguageIdentifier(config).train(train)
+    print(f"trained {len(identifier.languages)} language profiles "
+          f"({config.memory_bits_per_language // 1024} Kbit of filter memory per language)")
 
     # 3. Classify one document and inspect the per-language match counters.
     document = test.documents[0]
-    result = classifier.classify_text(document.text)
+    result = identifier.classify(document.text)
     print(f"\ndocument {document.doc_id!r} (gold={document.language}) -> {result.language}")
     print("match counters:", ", ".join(f"{lang}={count}" for lang, count in result.ranking()))
     print(f"margin over runner-up: {result.margin} n-grams out of {result.ngram_count}")
 
-    # 4. Evaluate on the whole test split.
-    report = evaluate_classifier(classifier, test)
+    # 4. Classify the whole test split in one vectorized batch.
+    batch = identifier.classify_batch([doc.text for doc in test.documents])
+    correct = sum(r.language == doc.language for r, doc in zip(batch, test.documents))
+    print(f"\nbatch classification: {correct}/{len(batch)} correct in one vectorized pass")
+
+    # 5. Save the trained model and reload it — bit-exact, no retraining.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = identifier.save(Path(tmp) / "model.npz")
+        restored = LanguageIdentifier.load(path)
+        assert restored.classify(document.text).match_counts == result.match_counts
+        print(f"saved + reloaded model artifact ({path.stat().st_size / 1024:.0f} KiB), "
+              "match counts identical")
+
+    # 6. Evaluate on the whole test split.
+    report = evaluate_classifier(identifier, test)
     rows = [(lang, format_percentage(acc)) for lang, acc in report.per_language_accuracy.items()]
     print()
     print(format_table(("language", "accuracy"), rows, title="Per-language accuracy"))
     print(f"\naverage accuracy: {format_percentage(report.average_accuracy)} "
-          f"(expected false-positive rate: {classifier.expected_fpr():.4f})")
+          f"(expected false-positive rate: {identifier.describe()['expected_fpr']:.4f})")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ Run with:  python examples/spam_routing.py
 
 from collections import defaultdict
 
-from repro import BloomNGramClassifier
+from repro import LanguageIdentifier
 from repro.analysis.reporting import format_table
 from repro.corpus.generator import SyntheticCorpusBuilder
 
@@ -32,15 +32,17 @@ def main() -> None:
     ).build()
     train, incoming = corpus.split(train_fraction=0.2, seed=2)
 
-    classifier = BloomNGramClassifier(m_bits=8 * 1024, k=4, t=5000, seed=4)
-    classifier.fit(train)
+    identifier = LanguageIdentifier(m_bits=8 * 1024, k=4, t=5000, seed=4).train(train)
 
     queues: dict[str, list[str]] = defaultdict(list)
     review_queue: list[tuple[str, str, float]] = []
     misrouted = 0
 
-    for document in incoming.shuffled(seed=9):
-        result = classifier.classify_text(document.text)
+    # classify_stream batches the feed through the vectorized path while keeping
+    # memory bounded — the shape a real routing front end wants.
+    documents = list(incoming.shuffled(seed=9))
+    results = identifier.classify_stream((doc.text for doc in documents), batch_size=32)
+    for document, result in zip(documents, results):
         relative_margin = result.margin / max(1, result.ngram_count)
         if relative_margin < REVIEW_MARGIN:
             review_queue.append((document.doc_id, result.language, relative_margin))

@@ -23,21 +23,43 @@ The package is organised as a set of substrates plus the paper's core contributi
     A synthetic multilingual corpus generator standing in for the JRC-Acquis corpus.
 ``repro.analysis``
     Accuracy evaluation, parameter sweeps and table/figure rendering helpers.
+``repro.api``
+    The unified serving surface: :class:`~repro.api.config.ClassifierConfig`,
+    the pluggable backend registry (``bloom`` / ``exact`` / ``hw-sim`` /
+    ``mguesser`` / ``hail``) and the :class:`~repro.api.identifier.LanguageIdentifier`
+    facade with batch/streaming classification and model persistence.
 
 Quickstart
 ----------
->>> from repro import build_jrc_acquis_like, BloomNGramClassifier
+>>> from repro import ClassifierConfig, LanguageIdentifier, build_jrc_acquis_like
 >>> corpus = build_jrc_acquis_like(["en", "fr", "es"], docs_per_language=40, seed=7)
 >>> train, test = corpus.split(train_fraction=0.25, seed=7)
->>> clf = BloomNGramClassifier(m_bits=16 * 1024, k=4, seed=1)
->>> clf.fit(train)
->>> result = clf.classify_text(test.documents[0].text)
+>>> config = ClassifierConfig(m_bits=16 * 1024, k=4, seed=1, backend="bloom")
+>>> identifier = LanguageIdentifier(config).train(train)
+>>> result = identifier.classify(test.documents[0].text)
 >>> result.language in corpus.languages
 True
+>>> results = identifier.classify_batch([doc.text for doc in test.documents[:8]])
+>>> len(results)
+8
+
+Trained models persist as versioned ``.npz`` artifacts::
+
+    identifier.save("model.npz")
+    restored = LanguageIdentifier.load("model.npz")        # bit-exact reload
+    exact = LanguageIdentifier.load("model.npz", backend="exact")
 """
 
 from __future__ import annotations
 
+from repro.api.config import ClassifierConfig
+from repro.api.identifier import LanguageIdentifier
+from repro.api.registry import (
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.alphabet import AlphabetConverter, encode_text
 from repro.core.bloom import BloomFilter, ParallelBloomFilter
 from repro.core.classifier import (
@@ -54,6 +76,12 @@ from repro.corpus.generator import DocumentGenerator, SyntheticCorpusBuilder
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClassifierConfig",
+    "LanguageIdentifier",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "AlphabetConverter",
     "encode_text",
     "BloomFilter",

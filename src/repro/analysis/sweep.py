@@ -12,7 +12,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.analysis.accuracy import AccuracyReport, evaluate_classifier
-from repro.core.classifier import BloomNGramClassifier, ExactNGramClassifier
+from repro.api.config import ClassifierConfig
+from repro.api.identifier import LanguageIdentifier
 from repro.core.fpr import false_positives_per_thousand
 from repro.corpus.corpus import Corpus
 
@@ -63,9 +64,35 @@ class BloomSweepRow:
         )
 
 
-def _fit_and_evaluate(classifier, train: Corpus, test: Corpus) -> AccuracyReport:
-    classifier.fit(train)
-    return evaluate_classifier(classifier, test)
+def _fit_and_evaluate(identifier: LanguageIdentifier, train: Corpus, test: Corpus) -> AccuracyReport:
+    identifier.train(train)
+    return evaluate_classifier(identifier, test)
+
+
+def _measured_fpr(identifier: LanguageIdentifier, sample_size: int, seed: int) -> dict[str, float]:
+    """Empirical per-language false-positive rate of a trained identifier.
+
+    Uses the Bloom classifier's own estimator when available; otherwise probes
+    the backend with random non-member n-grams, which works for any backend
+    whose match counts are membership counts (``exact``, ``hw-sim``, ``hail``).
+    For score-based backends (``mguesser``) the column is structurally zero:
+    non-member n-grams carry no profile weight, so they cannot score.
+    """
+    wrapped = getattr(identifier.backend, "classifier", None)
+    if wrapped is not None and hasattr(wrapped, "measured_fpr"):
+        return wrapped.measured_fpr(sample_size=sample_size, seed=seed)
+    rng = np.random.default_rng(seed)
+    key_space = 1 << identifier.config.key_bits
+    probes = rng.integers(0, key_space, size=sample_size, dtype=np.uint64)
+    rates: dict[str, float] = {}
+    for index, (language, profile) in enumerate(identifier.profiles.items()):
+        non_members = probes[~profile.contains_many(probes)]
+        if non_members.size == 0:
+            rates[language] = 0.0
+            continue
+        counts = identifier.backend.match_counts(non_members)
+        rates[language] = float(counts[index]) / float(non_members.size)
+    return rates
 
 
 def sweep_bloom_parameters(
@@ -77,16 +104,20 @@ def sweep_bloom_parameters(
     seed: int = 0,
     hash_family: str = "h3",
     fpr_sample_size: int = 20000,
+    backend: str = "bloom",
 ) -> list[BloomSweepRow]:
     """Reproduce the Table 1 experiment: accuracy vs (m, k) on a train/test split."""
     rows: list[BloomSweepRow] = []
     for m_kbits, k in grid:
-        classifier = BloomNGramClassifier(
-            m_bits=m_kbits * 1024, k=k, n=n, t=t, seed=seed, hash_family=hash_family
+        identifier = LanguageIdentifier(
+            ClassifierConfig(
+                n=n, t=t, m_bits=m_kbits * 1024, k=k,
+                hash_family=hash_family, seed=seed, backend=backend,
+            )
         )
-        report = _fit_and_evaluate(classifier, train, test)
-        profile_size = max(len(p) for p in classifier.profiles.values())
-        measured = classifier.measured_fpr(sample_size=fpr_sample_size, seed=seed + 17)
+        report = _fit_and_evaluate(identifier, train, test)
+        profile_size = max(len(p) for p in identifier.profiles.values())
+        measured = _measured_fpr(identifier, sample_size=fpr_sample_size, seed=seed + 17)
         rows.append(
             BloomSweepRow(
                 m_kbits=m_kbits,
@@ -126,10 +157,10 @@ def sweep_hash_families(
     """Ablation: does the hash family matter at fixed (m, k)?  (It should not.)"""
     rows = []
     for family in families:
-        classifier = BloomNGramClassifier(
+        identifier = LanguageIdentifier(
             m_bits=m_kbits * 1024, k=k, t=t, seed=seed, hash_family=family
         )
-        report = _fit_and_evaluate(classifier, train, test)
+        report = _fit_and_evaluate(identifier, train, test)
         rows.append(
             AblationRow(
                 label=family,
@@ -152,8 +183,8 @@ def sweep_profile_size(
     """Ablation: profile size t (the paper fixes t = 5000, citing HAIL's >99 % accuracy)."""
     rows = []
     for size in sizes:
-        classifier = BloomNGramClassifier(m_bits=m_kbits * 1024, k=k, t=size, seed=seed)
-        report = _fit_and_evaluate(classifier, train, test)
+        identifier = LanguageIdentifier(m_bits=m_kbits * 1024, k=k, t=size, seed=seed)
+        report = _fit_and_evaluate(identifier, train, test)
         rows.append(
             AblationRow(
                 label=f"t={size}",
@@ -177,8 +208,8 @@ def sweep_ngram_order(
     """Ablation: n-gram order (the paper uses 4-grams)."""
     rows = []
     for order in orders:
-        classifier = BloomNGramClassifier(m_bits=m_kbits * 1024, k=k, n=order, t=t, seed=seed)
-        report = _fit_and_evaluate(classifier, train, test)
+        identifier = LanguageIdentifier(m_bits=m_kbits * 1024, k=k, n=order, t=t, seed=seed)
+        report = _fit_and_evaluate(identifier, train, test)
         rows.append(
             AblationRow(
                 label=f"n={order}",
@@ -203,10 +234,10 @@ def sweep_subsampling(
     "test only every other n-gram" option that doubles the supported languages)."""
     rows = []
     for stride in strides:
-        classifier = BloomNGramClassifier(
+        identifier = LanguageIdentifier(
             m_bits=m_kbits * 1024, k=k, t=t, seed=seed, subsample_stride=stride
         )
-        report = _fit_and_evaluate(classifier, train, test)
+        report = _fit_and_evaluate(identifier, train, test)
         rows.append(
             AblationRow(
                 label=f"stride={stride}",
@@ -220,8 +251,8 @@ def sweep_subsampling(
 
 def sweep_exact_reference(train: Corpus, test: Corpus, t: int = 5000, n: int = 4) -> AblationRow:
     """Accuracy of the exact-membership (direct lookup) classifier — the no-false-positive bound."""
-    classifier = ExactNGramClassifier(n=n, t=t)
-    report = _fit_and_evaluate(classifier, train, test)
+    identifier = LanguageIdentifier(n=n, t=t, backend="exact")
+    report = _fit_and_evaluate(identifier, train, test)
     return AblationRow(
         label="exact-lookup",
         average_accuracy=report.average_accuracy,

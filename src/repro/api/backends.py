@@ -1,0 +1,339 @@
+"""Backend adapters: every classifier flavour behind the one :class:`Backend` contract.
+
+Five engines are registered:
+
+``bloom``
+    The paper's design — per-language Parallel Bloom Filters
+    (:class:`repro.core.classifier.BloomNGramClassifier`).  Persists its
+    bit-vectors so a loaded model answers without re-programming.
+``exact``
+    The no-false-positive reference — exact profile membership
+    (:class:`repro.core.classifier.ExactNGramClassifier`).
+``hw-sim``
+    The cycle-approximate FPGA datapath
+    (:class:`repro.hardware.classifier_engine.ParallelMultiLanguageClassifier`),
+    bit-exact with ``bloom`` for the same seed but also accounting clock cycles.
+``mguesser``
+    An mguesser-style frequency scorer over the packed n-gram pipeline: each
+    language scores a document by the summed training-set frequency of its
+    n-grams.  Scores are fixed-point integers (1e-6 units) so the backend shares
+    the integer counter semantics of the hardware.
+``hail``
+    The competing HAIL design — a direct-lookup SRAM table with per-bucket
+    language bitmaps (:class:`repro.baselines.hail.HailClassifier`).
+
+All adapters consume the same per-language :class:`~repro.core.profile.LanguageProfile`
+objects and hash / look up a whole batch at once in ``match_counts_batch``
+wherever the underlying structure allows it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.api.config import ClassifierConfig
+from repro.api.registry import Backend, register_backend
+from repro.baselines.hail import HailClassifier
+from repro.core.bloom import ParallelBloomFilter
+from repro.core.classifier import BloomNGramClassifier, ExactNGramClassifier
+from repro.core.ngram import segment_sums
+from repro.core.profile import LanguageProfile
+from repro.hardware.classifier_engine import ParallelMultiLanguageClassifier
+
+__all__ = [
+    "BloomBackend",
+    "ExactBackend",
+    "HardwareSimBackend",
+    "MguesserBackend",
+    "HailBackend",
+]
+
+#: fixed-point scale of the mguesser backend's frequency scores
+MGUESSER_SCORE_SCALE = 1_000_000
+
+#: n-grams hashed per step of the batch path; sized so the hash temporaries
+#: (~9 arrays of 8 bytes per key) stay cache-resident instead of streaming
+#: multi-megabyte intermediates through DRAM
+BATCH_CHUNK_NGRAMS = 1 << 16
+
+
+@register_backend("bloom")
+class BloomBackend(Backend):
+    """The paper's Parallel-Bloom-Filter classifier."""
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__(config)
+        self.classifier = BloomNGramClassifier(
+            m_bits=config.m_bits,
+            k=config.k,
+            n=config.n,
+            t=config.t,
+            hash_family=config.hash_family,
+            seed=config.seed,
+            subsample_stride=config.subsample_stride,
+        )
+        self._stacked_bits: np.ndarray | None = None
+
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        self.classifier.fit_profiles(profiles)
+        self.profiles = self.classifier.profiles
+        self._stacked_bits = None
+
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        return self.classifier.match_counts(packed)
+
+    def _stacked_bit_vectors(self) -> np.ndarray:
+        """All languages' bit-vectors as one ``(k, languages, m_bits)`` matrix.
+
+        Gathering from the stacked matrix tests one hash function against every
+        language in a single fancy-index, instead of one gather per (language,
+        hash) pair.
+        """
+        if getattr(self, "_stacked_bits", None) is None:
+            self._stacked_bits = np.stack(
+                [filt.bit_vectors for filt in self.classifier.filters.values()], axis=1
+            )
+        return self._stacked_bits
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_languages = len(self.classifier.filters)
+        out = np.zeros((lengths.size, n_languages), dtype=np.int64)
+        if packed.size == 0:
+            return out
+        packed = np.asarray(packed, dtype=np.uint64)
+        # Each n-gram of the batch is hashed exactly once and the addresses are
+        # reused across every document *and* every language; chunking keeps the
+        # hash temporaries cache-resident, which is where the speedup over the
+        # per-document loop comes from.
+        stacked = self._stacked_bit_vectors()
+        hits = np.empty((n_languages, packed.size), dtype=bool)
+        for start in range(0, packed.size, BATCH_CHUNK_NGRAMS):
+            segment = packed[start : start + BATCH_CHUNK_NGRAMS]
+            addresses = self.classifier.hashes.hash_all(segment)
+            chunk_hits = stacked[0][:, addresses[0]]
+            for i in range(1, self.config.k):
+                chunk_hits &= stacked[i][:, addresses[i]]
+            hits[:, start : start + segment.size] = chunk_hits
+        for column in range(n_languages):
+            out[:, column] = segment_sums(hits[column], lengths)
+        return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for language, filt in self.classifier.filters.items():
+            payload = filt.to_arrays()
+            state[f"bits:{language}"] = payload["bits"]
+            state[f"n_items:{language}"] = np.asarray([payload["n_items"]], dtype=np.int64)
+        return state
+
+    def import_state(
+        self, profiles: Mapping[str, LanguageProfile], state: Mapping[str, np.ndarray]
+    ) -> None:
+        required = {f"bits:{language}" for language in profiles} | {
+            f"n_items:{language}" for language in profiles
+        }
+        present = {key for key in state if key.startswith(("bits:", "n_items:"))}
+        if present != required:
+            # Incomplete or mismatched state: rebuild deterministically instead.
+            self.fit_profiles(profiles)
+            return
+        self.profiles = self.classifier.profiles = dict(profiles)
+        self._stacked_bits = None
+        self.classifier.filters = {}
+        for language in profiles:
+            payload = {
+                "kind": "parallel",
+                "m_bits": self.config.m_bits,
+                "k": self.config.k,
+                "key_bits": self.config.key_bits,
+                "bits": state[f"bits:{language}"],
+                "n_items": int(np.asarray(state[f"n_items:{language}"])[0]),
+            }
+            self.classifier.filters[language] = ParallelBloomFilter.from_arrays(
+                payload, hashes=self.classifier.hashes
+            )
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["memory_bits_per_language"] = self.classifier.memory_bits_per_language
+        info["expected_fpr"] = self.classifier.expected_fpr() if self.profiles else None
+        return info
+
+
+@register_backend("exact")
+class ExactBackend(Backend):
+    """Exact profile membership — the accuracy reference without false positives."""
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__(config)
+        self.classifier = ExactNGramClassifier(
+            n=config.n, t=config.t, subsample_stride=config.subsample_stride
+        )
+
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        self.classifier.fit_profiles(profiles)
+        self.profiles = self.classifier.profiles
+
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        return self.classifier.match_counts(packed)
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        lengths = np.asarray(lengths, dtype=np.int64)
+        out = np.zeros((lengths.size, len(self.languages)), dtype=np.int64)
+        if packed.size == 0:
+            return out
+        # One searchsorted over the whole batch per language; per-document
+        # totals fall out of the shared segment reduction.
+        for column, (_language, hits) in enumerate(self.classifier.membership_hits(packed)):
+            out[:, column] = segment_sums(hits, lengths)
+        return out
+
+
+@register_backend("hw-sim")
+class HardwareSimBackend(Backend):
+    """Cycle-approximate FPGA engine (4 copies × dual-ported filters, 8 n-grams/clock)."""
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__(config)
+        if config.hash_family != "h3":
+            raise ValueError(
+                "the hw-sim backend models the paper's H3 hash hardware; "
+                f"hash_family={config.hash_family!r} is not supported"
+            )
+        self.engine = ParallelMultiLanguageClassifier(
+            m_bits=config.m_bits,
+            k=config.k,
+            key_bits=config.key_bits,
+            seed=config.seed,
+            n=config.n,
+        )
+
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        if not profiles:
+            raise ValueError("at least one language profile is required")
+        self.engine.load_profiles_fast(profiles)
+        self.profiles = dict(profiles)
+
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        report = self.engine.process_document(np.asarray(packed, dtype=np.uint64))
+        return np.asarray(
+            [report.match_counts[language] for language in self.languages], dtype=np.int64
+        )
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["ngrams_per_clock"] = self.engine.ngrams_per_clock
+        info["copies"] = self.engine.copies
+        return info
+
+
+@register_backend("mguesser")
+class MguesserBackend(Backend):
+    """Mguesser-style frequency scoring over the packed n-gram pipeline.
+
+    Each language weights its profile n-grams by normalised training frequency;
+    a document's score is the summed weight of its n-grams (with multiplicity),
+    reported as fixed-point integers in units of ``1 / MGUESSER_SCORE_SCALE``.
+    """
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__(config)
+        self._sorted_ngrams: dict[str, np.ndarray] = {}
+        self._weights: dict[str, np.ndarray] = {}
+
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        if not profiles:
+            raise ValueError("at least one language profile is required")
+        self._sorted_ngrams = {}
+        self._weights = {}
+        for language, profile in profiles.items():
+            order = np.argsort(profile.ngrams)
+            total = float(profile.counts.sum()) or 1.0
+            self._sorted_ngrams[language] = profile.ngrams[order]
+            self._weights[language] = profile.counts[order].astype(np.float64) / total
+        self.profiles = dict(profiles)
+
+    def _weights_of(self, language: str, packed: np.ndarray) -> np.ndarray:
+        sorted_ngrams = self._sorted_ngrams[language]
+        weights = self._weights[language]
+        positions = np.searchsorted(sorted_ngrams, packed)
+        positions = np.clip(positions, 0, max(sorted_ngrams.size - 1, 0))
+        if sorted_ngrams.size == 0:
+            return np.zeros(packed.size, dtype=np.float64)
+        member = sorted_ngrams[positions] == packed
+        return np.where(member, weights[positions], 0.0)
+
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        counts = np.zeros(len(self.languages), dtype=np.int64)
+        if packed.size == 0:
+            return counts
+        for index, language in enumerate(self.languages):
+            score = float(self._weights_of(language, packed).sum())
+            counts[index] = int(round(score * MGUESSER_SCORE_SCALE))
+        return counts
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        lengths = np.asarray(lengths, dtype=np.int64)
+        out = np.zeros((lengths.size, len(self.languages)), dtype=np.int64)
+        if packed.size == 0:
+            return out
+        packed = np.asarray(packed, dtype=np.uint64)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        for column, language in enumerate(self.languages):
+            weights = self._weights_of(language, packed)
+            # Sum each document's slice directly: summing the same float values
+            # in the same order as the single-document path keeps the
+            # fixed-point rounding bit-identical between batch and single
+            # (a whole-batch cumulative sum would not).
+            for row in range(lengths.size):
+                score = float(weights[starts[row] : ends[row]].sum())
+                out[row, column] = int(round(score * MGUESSER_SCORE_SCALE))
+        return out
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["score_scale"] = MGUESSER_SCORE_SCALE
+        return info
+
+
+@register_backend("hail")
+class HailBackend(Backend):
+    """The competing HAIL design: one SRAM lookup per n-gram, language bitmaps."""
+
+    #: log2 of the SRAM hash-table bucket count (the real board's SRAM is generous)
+    TABLE_BITS = 20
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__(config)
+        self.classifier = HailClassifier(
+            table_bits=self.TABLE_BITS, n=config.n, t=config.t, seed=config.seed
+        )
+
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        self.classifier.fit_profiles(profiles)
+        self.profiles = dict(profiles)
+
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        return self.classifier.match_counts(packed)
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        return self.classifier.match_counts_batch(packed, lengths)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["table_bits"] = self.TABLE_BITS
+        info["table_fill_ratio"] = self.classifier.table_fill_ratio
+        return info

@@ -1,0 +1,122 @@
+"""Classifier configuration: one frozen object captures a full pipeline setup.
+
+Every classifier flavour in this repository is parameterised by the same small
+set of knobs — n-gram order, profile size, Bloom geometry, hash family, seed,
+subsampling and which membership backend to use.  :class:`ClassifierConfig`
+captures them once, validates them eagerly, and round-trips through plain
+dictionaries so a trained model can be persisted next to the exact
+configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.ngram import DEFAULT_N
+from repro.core.profile import DEFAULT_PROFILE_SIZE
+
+__all__ = ["ClassifierConfig", "KNOWN_HASH_FAMILIES", "DEFAULT_BACKEND"]
+
+#: hash families accepted by :func:`repro.hashes.families.make_hash_family`
+KNOWN_HASH_FAMILIES: tuple[str, ...] = ("h3", "multiply-shift", "fnv1a", "tabulation")
+
+#: backend used when none is specified (the paper's Parallel Bloom Filter design)
+DEFAULT_BACKEND = "bloom"
+
+#: bits per character code of the 5-bit alphabet (Section 3 of the paper)
+_CODE_BITS = 5
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Immutable configuration of a language-identification pipeline.
+
+    Attributes
+    ----------
+    n:
+        N-gram order (4 in the paper).
+    t:
+        Profile size: top-``t`` most frequent n-grams per language (5 000).
+    m_bits:
+        Per-hash Bloom bit-vector length; must be a power of two.
+    k:
+        Number of hash functions / bit-vectors per language.
+    hash_family:
+        Name of the hash family shared by all languages (``"h3"`` by default).
+    seed:
+        Seed for hash-function construction; identical seeds give bit-identical
+        filters across processes, which is what makes saved models reproducible.
+    subsample_stride:
+        HAIL-style n-gram subsampling applied at classification time (1 = off).
+    backend:
+        Registry name of the membership backend (``"bloom"``, ``"exact"``,
+        ``"hw-sim"``, ``"mguesser"`` or ``"hail"``).
+    """
+
+    n: int = DEFAULT_N
+    t: int = DEFAULT_PROFILE_SIZE
+    m_bits: int = 16 * 1024
+    k: int = 4
+    hash_family: str = "h3"
+    seed: int = 0
+    subsample_stride: int = 1
+    backend: str = DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if self.n * _CODE_BITS > 64:
+            raise ValueError(f"{self.n}-grams of {_CODE_BITS}-bit codes do not fit in 64 bits")
+        if self.t <= 0:
+            raise ValueError("t must be positive")
+        if self.m_bits <= 0 or self.m_bits & (self.m_bits - 1):
+            raise ValueError(f"m_bits must be a positive power of two (got {self.m_bits})")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.hash_family not in KNOWN_HASH_FAMILIES:
+            raise ValueError(
+                f"unknown hash family {self.hash_family!r}; "
+                f"choose from {sorted(KNOWN_HASH_FAMILIES)}"
+            )
+        if self.subsample_stride <= 0:
+            raise ValueError("subsample_stride must be positive")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty string")
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def key_bits(self) -> int:
+        """Width of the packed n-gram keys this configuration produces."""
+        return self.n * _CODE_BITS
+
+    @property
+    def m_kbits(self) -> int:
+        """Per-hash bit-vector length in Kbits (the unit used by the paper)."""
+        return self.m_bits // 1024
+
+    @property
+    def memory_bits_per_language(self) -> int:
+        """Embedded-RAM bits one language's Bloom filters occupy (``k * m_bits``)."""
+        return self.k * self.m_bits
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dictionary form (JSON friendly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ClassifierConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so artifact drift is loud."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown configuration keys: {sorted(unknown)}")
+        return cls(**dict(payload))
+
+    def replace(self, **changes: Any) -> "ClassifierConfig":
+        """A copy of this configuration with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)

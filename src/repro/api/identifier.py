@@ -1,0 +1,204 @@
+"""The :class:`LanguageIdentifier` facade — one surface over every backend.
+
+The facade owns the text → packed-n-gram extraction pipeline and delegates
+membership counting to a registered :class:`~repro.api.registry.Backend`, so
+training, single-document classification, vectorized batch classification,
+streaming, and model persistence look identical whichever engine runs under it::
+
+    config = ClassifierConfig(m_bits=16 * 1024, k=4, backend="bloom")
+    identifier = LanguageIdentifier(config).train(corpus)
+    identifier.classify("Quel est ce document ?").language
+    identifier.save("model.npz")
+    restored = LanguageIdentifier.load("model.npz")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
+from repro.api.config import ClassifierConfig
+from repro.api.registry import Backend, create_backend
+from repro.core.classifier import ClassificationResult
+from repro.core.ngram import NGramExtractor
+from repro.core.profile import LanguageProfile, build_profiles
+
+__all__ = ["LanguageIdentifier", "DEFAULT_STREAM_BATCH_SIZE"]
+
+#: documents gathered per vectorized step by :meth:`LanguageIdentifier.classify_stream`
+DEFAULT_STREAM_BATCH_SIZE = 64
+
+
+class LanguageIdentifier:
+    """Unified language-identification API over the pluggable backends.
+
+    Parameters
+    ----------
+    config:
+        The pipeline configuration; defaults are the paper's conservative
+        setup (4-grams, t = 5000, 16 Kbit × 4 Bloom vectors, H3, ``bloom``).
+    **overrides:
+        Convenience field overrides applied on top of ``config`` (or on top of
+        the defaults when ``config`` is omitted), e.g.
+        ``LanguageIdentifier(backend="exact", k=6)``.
+    """
+
+    def __init__(self, config: ClassifierConfig | None = None, **overrides):
+        if config is None:
+            config = ClassifierConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.extractor = NGramExtractor(n=config.n, subsample_stride=config.subsample_stride)
+        self._backend = create_backend(config)
+
+    # ------------------------------------------------------------ introspection
+
+    @property
+    def backend(self) -> Backend:
+        """The membership engine behind this identifier."""
+        return self._backend
+
+    @property
+    def languages(self) -> list[str]:
+        """Languages the identifier has been trained on, in training order."""
+        return self._backend.languages
+
+    @property
+    def profiles(self) -> dict[str, LanguageProfile]:
+        """The per-language profiles the backend was programmed with."""
+        return self._backend.profiles
+
+    @property
+    def is_trained(self) -> bool:
+        return bool(self._backend.profiles)
+
+    def describe(self) -> dict:
+        """Description of the full pipeline (configuration + backend structure)."""
+        return self._backend.describe()
+
+    # ------------------------------------------------------------ training
+
+    def train(self, corpus) -> "LanguageIdentifier":
+        """Train from a :class:`repro.corpus.corpus.Corpus` or a ``language → texts`` mapping."""
+        if isinstance(corpus, Mapping):
+            texts_by_language = corpus
+        else:
+            texts_by_language = corpus.texts_by_language()
+        profiles = build_profiles(
+            texts_by_language, n=self.config.n, t=self.config.t, extractor=self.extractor
+        )
+        return self.train_profiles(profiles)
+
+    def train_profiles(self, profiles: Mapping[str, LanguageProfile]) -> "LanguageIdentifier":
+        """Train from prebuilt per-language profiles."""
+        self._backend.fit_profiles(profiles)
+        return self
+
+    def _check_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("identifier has not been trained; call train() first")
+
+    # ------------------------------------------------------------ classification
+
+    def match_counts(self, text: str | bytes) -> np.ndarray:
+        """Per-language match counts for one document (aligned with :attr:`languages`)."""
+        self._check_trained()
+        return self._backend.match_counts(self.extractor.extract(text))
+
+    def _result_from_counts(self, counts: np.ndarray, ngram_count: int) -> ClassificationResult:
+        languages = self.languages
+        best = int(np.argmax(counts)) if counts.size else 0
+        return ClassificationResult(
+            language=languages[best],
+            match_counts={lang: int(c) for lang, c in zip(languages, counts)},
+            ngram_count=int(ngram_count),
+        )
+
+    def classify(self, text: str | bytes) -> ClassificationResult:
+        """Classify one document."""
+        self._check_trained()
+        packed = self.extractor.extract(text)
+        return self._result_from_counts(self._backend.match_counts(packed), packed.size)
+
+    #: alias so the facade satisfies the same duck type as the raw classifiers
+    classify_text = classify
+
+    def classify_batch(self, texts: Iterable[str | bytes]) -> list[ClassificationResult]:
+        """Classify several documents with one vectorized pass.
+
+        All documents' packed n-grams are concatenated and handed to the
+        backend's batch path, which (for the hashed backends) computes the hash
+        addresses of the whole batch once and reuses them across every document
+        and every language — substantially faster than classifying one document
+        at a time.
+        """
+        self._check_trained()
+        extracted = [self.extractor.extract(text) for text in texts]
+        if not extracted:
+            return []
+        lengths = np.asarray([packed.size for packed in extracted], dtype=np.int64)
+        concatenated = (
+            np.concatenate(extracted) if lengths.sum() else np.empty(0, dtype=np.uint64)
+        )
+        counts = self._backend.match_counts_batch(concatenated, lengths)
+        return [
+            self._result_from_counts(counts[row], lengths[row])
+            for row in range(lengths.size)
+        ]
+
+    def classify_stream(
+        self,
+        documents: Iterable[str | bytes],
+        batch_size: int = DEFAULT_STREAM_BATCH_SIZE,
+    ) -> Iterator[ClassificationResult]:
+        """Lazily classify an unbounded stream of documents.
+
+        Documents are gathered into batches of ``batch_size`` and pushed through
+        the vectorized batch path; results are yielded in input order as each
+        batch completes, so memory stays bounded by the batch size rather than
+        the stream length.  Argument and trained-state validation happens at
+        call time, not at first consumption.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._check_trained()
+
+        def generate():
+            pending: list[str | bytes] = []
+            for document in documents:
+                pending.append(document)
+                if len(pending) >= batch_size:
+                    yield from self.classify_batch(pending)
+                    pending = []
+            if pending:
+                yield from self.classify_batch(pending)
+
+        return generate()
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> Path:
+        """Write a versioned model artifact (config + profiles + backend state)."""
+        from repro.api.persistence import save_model
+
+        return save_model(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path, backend: str | None = None) -> "LanguageIdentifier":
+        """Load a model artifact written by :meth:`save`.
+
+        ``backend`` optionally overrides the stored backend name: the model's
+        profiles are re-programmed into the requested engine (persisted
+        engine-specific state is only reused when the backend matches).
+        """
+        from repro.api.persistence import load_model
+
+        return load_model(path, backend=backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = f"{len(self.languages)} languages" if self.is_trained else "untrained"
+        return f"LanguageIdentifier(backend={self.config.backend!r}, {status})"

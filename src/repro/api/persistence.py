@@ -1,0 +1,124 @@
+"""Versioned model artifacts: save/load a trained :class:`LanguageIdentifier`.
+
+An artifact is a single ``.npz`` file holding
+
+* ``meta`` — a JSON document with the artifact format name and version, the
+  full :class:`~repro.api.config.ClassifierConfig`, and the language order;
+* ``profiles/<lang>/ngrams`` and ``profiles/<lang>/counts`` — the per-language
+  profile arrays (packed n-gram values + training counts);
+* ``state/<key>`` — backend-specific arrays from
+  :meth:`~repro.api.registry.Backend.export_state` (for the ``bloom`` backend,
+  the packed per-language bit-vectors, so loading needs no re-programming).
+
+Nothing is pickled: the JSON metadata is stored as a zero-dimensional string
+array, so artifacts are loadable with ``allow_pickle=False`` and are safe to
+exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.config import ClassifierConfig
+from repro.core.profile import LanguageProfile
+
+__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "save_model", "load_model"]
+
+ARTIFACT_FORMAT = "repro-langid-model"
+ARTIFACT_VERSION = 1
+
+_PROFILE_PREFIX = "profiles/"
+_STATE_PREFIX = "state/"
+
+
+def save_model(identifier, path: str | Path) -> Path:
+    """Serialise a trained identifier to ``path`` (``.npz`` appended if missing)."""
+    if not identifier.is_trained:
+        raise RuntimeError("cannot save an untrained identifier; call train() first")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "config": identifier.config.to_dict(),
+        "languages": identifier.languages,
+        "profile_params": {
+            language: {"n": profile.n, "t": profile.t}
+            for language, profile in identifier.profiles.items()
+        },
+    }
+    arrays: dict[str, np.ndarray] = {"meta": np.asarray(json.dumps(meta))}
+    for language, profile in identifier.profiles.items():
+        arrays[f"{_PROFILE_PREFIX}{language}/ngrams"] = profile.ngrams
+        arrays[f"{_PROFILE_PREFIX}{language}/counts"] = profile.counts
+    for key, value in identifier.backend.export_state().items():
+        arrays[f"{_STATE_PREFIX}{key}"] = np.asarray(value)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_model(path: str | Path, backend: str | None = None):
+    """Load an artifact written by :func:`save_model`.
+
+    Parameters
+    ----------
+    path:
+        Artifact file path.
+    backend:
+        Optional backend-name override; the stored profiles are re-programmed
+        into the requested engine.  Persisted backend state is only reused when
+        the stored and requested backends match.
+    """
+    from repro.api.identifier import LanguageIdentifier
+
+    path = Path(path)
+    # save_model appends .npz to suffix-less paths; accept the same spelling here
+    # so save("model") / load("model") round-trips.
+    if not path.exists() and path.suffix != ".npz":
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta" not in archive:
+            raise ValueError(f"{path} is not a {ARTIFACT_FORMAT} artifact (no metadata)")
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(
+                f"{path} is not a {ARTIFACT_FORMAT} artifact (format={meta.get('format')!r})"
+            )
+        if int(meta.get("version", 0)) > ARTIFACT_VERSION:
+            raise ValueError(
+                f"artifact version {meta.get('version')} is newer than supported "
+                f"version {ARTIFACT_VERSION}; upgrade the library to load {path}"
+            )
+        config = ClassifierConfig.from_dict(meta["config"])
+        stored_backend = config.backend
+        if backend is not None and backend != stored_backend:
+            config = config.replace(backend=backend)
+        profiles: dict[str, LanguageProfile] = {}
+        for language in meta["languages"]:
+            params = meta["profile_params"][language]
+            profiles[language] = LanguageProfile(
+                language=language,
+                ngrams=archive[f"{_PROFILE_PREFIX}{language}/ngrams"],
+                counts=archive[f"{_PROFILE_PREFIX}{language}/counts"],
+                n=int(params["n"]),
+                t=int(params["t"]),
+            )
+        state = {
+            key[len(_STATE_PREFIX) :]: archive[key]
+            for key in archive.files
+            if key.startswith(_STATE_PREFIX)
+        }
+    identifier = LanguageIdentifier(config)
+    if state and config.backend == stored_backend:
+        identifier.backend.import_state(profiles, state)
+    else:
+        identifier.train_profiles(profiles)
+    return identifier

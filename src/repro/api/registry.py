@@ -1,0 +1,184 @@
+"""The backend registry: one protocol, many membership engines.
+
+Every classifier flavour in the repository — the Parallel-Bloom-Filter design,
+the exact-lookup reference, the cycle-approximate hardware simulator, and the
+HAIL / Mguesser baselines — answers the same question: *given a stream of packed
+n-grams, how many of them does each language's profile claim?*  The
+:class:`Backend` base class pins that contract down (``fit_profiles`` /
+``match_counts`` / ``describe``), and the registry maps short names onto
+implementations so callers select an engine with a string instead of importing
+five different constructors.
+
+Registering a backend::
+
+    @register_backend("my-engine")
+    class MyBackend(Backend):
+        ...
+
+Backends receive a :class:`~repro.api.config.ClassifierConfig` and must be
+deterministic for a given ``(config, profiles)`` pair so that saved models
+reload bit-exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.api.config import ClassifierConfig
+from repro.core.profile import LanguageProfile
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "create_backend",
+]
+
+
+class Backend(abc.ABC):
+    """A membership engine behind the :class:`~repro.api.identifier.LanguageIdentifier`.
+
+    Subclasses implement :meth:`fit_profiles` (program the engine from
+    per-language profiles) and :meth:`match_counts` (per-language counts for one
+    document's packed n-grams).  :meth:`match_counts_batch` has a generic
+    per-document fallback; vectorizable engines override it to hash a whole
+    batch once.
+    """
+
+    #: registry name; filled in by :func:`register_backend`
+    name: str = ""
+
+    def __init__(self, config: ClassifierConfig):
+        self.config = config
+        self.profiles: dict[str, LanguageProfile] = {}
+
+    # ------------------------------------------------------------ training
+
+    @property
+    def languages(self) -> list[str]:
+        """Languages the backend has been programmed with, in training order."""
+        return list(self.profiles)
+
+    @abc.abstractmethod
+    def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
+        """Program the engine from prebuilt per-language profiles."""
+
+    def _check_trained(self) -> None:
+        if not self.profiles:
+            raise RuntimeError("backend has not been trained; call fit_profiles() first")
+
+    # ------------------------------------------------------------ classification
+
+    @abc.abstractmethod
+    def match_counts(self, packed: np.ndarray) -> np.ndarray:
+        """Per-language match counts for one document's packed n-grams.
+
+        Returns an integer array aligned with :attr:`languages`.  Backends whose
+        natural score is fractional (e.g. the mguesser frequency scorer) return
+        fixed-point integers so every backend shares the counter semantics of
+        the hardware.
+        """
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Per-language match counts for a concatenated batch of documents.
+
+        Parameters
+        ----------
+        packed:
+            The batch's packed n-grams, all documents concatenated.
+        lengths:
+            Number of n-grams contributed by each document (``sum(lengths) ==
+            packed.size``; zero-length documents are allowed).
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(lengths), len(self.languages))`` of per-document,
+            per-language counts.  The fallback loops over documents; vectorized
+            backends override it.
+        """
+        self._check_trained()
+        lengths = np.asarray(lengths, dtype=np.int64)
+        out = np.zeros((lengths.size, len(self.languages)), dtype=np.int64)
+        start = 0
+        for row, length in enumerate(lengths):
+            out[row] = self.match_counts(packed[start : start + length])
+            start += length
+        return out
+
+    # ------------------------------------------------------------ persistence hooks
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Extra arrays to persist beyond the profiles (e.g. Bloom bit-vectors).
+
+        Backends that are cheap and deterministic to rebuild from profiles
+        return an empty mapping (the default).
+        """
+        return {}
+
+    def import_state(
+        self, profiles: Mapping[str, LanguageProfile], state: Mapping[str, np.ndarray]
+    ) -> None:
+        """Restore from persisted profiles plus :meth:`export_state` arrays.
+
+        The default ignores ``state`` and re-fits from the profiles, which is
+        bit-exact for every deterministic backend.
+        """
+        self.fit_profiles(profiles)
+
+    # ------------------------------------------------------------ introspection
+
+    def describe(self) -> dict:
+        """Human/machine-readable description of the engine and its configuration."""
+        return {
+            "backend": self.name,
+            "languages": self.languages,
+            "config": self.config.to_dict(),
+        }
+
+
+_REGISTRY: dict[str, type[Backend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a :class:`Backend` subclass under ``name``."""
+    key = name.lower().strip()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+
+    def decorator(cls: type[Backend]) -> type[Backend]:
+        if not (isinstance(cls, type) and issubclass(cls, Backend)):
+            raise TypeError(f"{cls!r} is not a Backend subclass")
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"backend name {key!r} is already registered to {existing.__name__}")
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> type[Backend]:
+    """Look up a backend class by registry name."""
+    key = str(name).lower().strip()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available backends: {available_backends()}"
+        ) from None
+
+
+def create_backend(config: ClassifierConfig) -> Backend:
+    """Instantiate the backend named by ``config.backend``."""
+    return get_backend(config.backend)(config)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.classifier import ClassificationResult
-from repro.core.ngram import DEFAULT_N, NGramExtractor
+from repro.core.ngram import DEFAULT_N, NGramExtractor, segment_sums
 from repro.core.profile import DEFAULT_PROFILE_SIZE, LanguageProfile, build_profiles
 from repro.hashes.h3 import H3Hash
 
@@ -122,6 +122,28 @@ class HailClassifier:
         bitmaps = self._table[buckets]
         for index in range(len(self.languages)):
             counts[index] = int(((bitmaps >> np.uint64(index)) & np.uint64(1)).sum())
+        return counts
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Per-document, per-language match counts for a concatenated batch.
+
+        ``packed`` is every document's n-grams concatenated; ``lengths`` gives
+        the per-document n-gram counts (zero-length documents are allowed).
+        One SRAM read per n-gram serves the whole batch, then each language's
+        bitmap bit is tested and summed per document.  Returns an array of
+        shape ``(len(lengths), len(self.languages))``.
+        """
+        if self._table is None:
+            raise RuntimeError("classifier has not been trained; call fit() first")
+        lengths = np.asarray(lengths, dtype=np.int64)
+        counts = np.zeros((lengths.size, len(self.languages)), dtype=np.int64)
+        if packed.size == 0:
+            return counts
+        packed = np.asarray(packed, dtype=np.uint64)
+        bitmaps = self._table[self._index_hash.hash_array(packed)]
+        for index in range(len(self.languages)):
+            hits = ((bitmaps >> np.uint64(index)) & np.uint64(1)).astype(np.int64)
+            counts[:, index] = segment_sums(hits, lengths)
         return counts
 
     def classify_text(self, text: str | bytes) -> ClassificationResult:

@@ -6,9 +6,11 @@ Subcommands
     Write a synthetic multilingual corpus to a directory (one subdirectory per
     language, one text file per document).
 ``train``
-    Build language profiles from a corpus directory and save them as JSON.
+    Train a :class:`~repro.api.identifier.LanguageIdentifier` from a corpus
+    directory and save it as a versioned model artifact (``.npz``).
 ``classify``
-    Classify one or more text files against saved profiles.
+    Classify one or more text files (or stdin via ``-``) against a saved model;
+    ``--backend`` re-programs the model's profiles into a different engine.
 ``evaluate``
     Train/test split evaluation on a synthetic corpus (prints per-language accuracy).
 ``sweep``
@@ -21,14 +23,13 @@ Subcommands
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from repro.analysis.reporting import format_percentage, format_table
 from repro.analysis.sweep import PAPER_TABLE1_GRID, sweep_bloom_parameters
-from repro.core.classifier import BloomNGramClassifier
-from repro.core.profile import LanguageProfile, build_profiles
+from repro.api import ClassifierConfig, LanguageIdentifier, available_backends
+from repro.api.config import KNOWN_HASH_FAMILIES
 from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
 from repro.corpus.languages import PAPER_LANGUAGES
 from repro.hardware.resources import (
@@ -66,13 +67,49 @@ def _read_corpus(directory: Path) -> Corpus:
     return corpus
 
 
+# --------------------------------------------------------------------- argument helpers
+
+
+def _language_list(spec: str) -> list[str]:
+    """Parse a comma-separated language list, stripping whitespace around entries."""
+    entries = [entry.strip() for entry in spec.split(",")]
+    if not entries or any(not entry for entry in entries):
+        raise argparse.ArgumentTypeError(
+            f"invalid language list {spec!r}: entries must be non-empty "
+            "(e.g. --languages 'en, fr, es')"
+        )
+    return entries
+
+
+def _resolve_languages(args: argparse.Namespace) -> list[str]:
+    return args.languages if args.languages else list(PAPER_LANGUAGES)
+
+
+def _read_stdin_document() -> str:
+    stdin = sys.stdin
+    buffer = getattr(stdin, "buffer", None)
+    return buffer.read().decode("latin-1") if buffer is not None else stdin.read()
+
+
+def _config_from_args(args: argparse.Namespace) -> ClassifierConfig:
+    return ClassifierConfig(
+        n=getattr(args, "ngram", 4),
+        t=args.profile_size,
+        m_bits=args.m_kbits * 1024,
+        k=args.k,
+        hash_family=getattr(args, "hash_family", "h3"),
+        seed=args.seed,
+        subsample_stride=getattr(args, "subsample_stride", 1),
+        backend=args.backend,
+    )
+
+
 # --------------------------------------------------------------------- subcommands
 
 
 def _cmd_generate_corpus(args: argparse.Namespace) -> int:
-    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
     corpus = build_jrc_acquis_like(
-        languages=languages,
+        languages=_resolve_languages(args),
         docs_per_language=args.docs_per_language,
         words_per_document=args.words_per_document,
         seed=args.seed,
@@ -90,49 +127,46 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = _read_corpus(Path(args.corpus))
-    profiles = build_profiles(corpus.texts_by_language(), n=args.ngram, t=args.profile_size)
-    payload = {language: profile.to_dict() for language, profile in profiles.items()}
-    Path(args.output).write_text(json.dumps(payload), encoding="utf-8")
-    print(f"wrote {len(profiles)} profiles (n={args.ngram}, t={args.profile_size}) to {args.output}")
+    identifier = LanguageIdentifier(_config_from_args(args)).train(corpus)
+    path = identifier.save(Path(args.output))
+    config = identifier.config
+    print(
+        f"trained {len(identifier.languages)} languages "
+        f"(backend={config.backend}, n={config.n}, t={config.t}, "
+        f"m={config.m_kbits} Kbits, k={config.k}); model saved to {path}"
+    )
     return 0
 
 
-def _load_profiles(path: Path) -> dict[str, LanguageProfile]:
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    return {language: LanguageProfile.from_dict(entry) for language, entry in payload.items()}
-
-
 def _cmd_classify(args: argparse.Namespace) -> int:
-    profiles = _load_profiles(Path(args.profiles))
-    any_profile = next(iter(profiles.values()))
-    classifier = BloomNGramClassifier(
-        m_bits=args.m_kbits * 1024, k=args.k, n=any_profile.n, t=any_profile.t, seed=args.seed
-    )
-    classifier.fit_profiles(profiles)
+    identifier = LanguageIdentifier.load(Path(args.model), backend=args.backend)
+    stdin_text: str | None = None
     for file_name in args.files:
-        text = Path(file_name).read_text(encoding="latin-1")
-        result = classifier.classify_text(text)
+        if file_name == "-":
+            # stdin holds one document; read it once and reuse for repeated '-'.
+            if stdin_text is None:
+                stdin_text = _read_stdin_document()
+            label, text = "<stdin>", stdin_text
+        else:
+            label, text = file_name, Path(file_name).read_text(encoding="latin-1")
+        result = identifier.classify(text)
         ranking = ", ".join(f"{lang}={count}" for lang, count in result.ranking()[:3])
-        print(f"{file_name}: {result.language}  ({ranking})")
+        print(f"{label}: {result.language}  ({ranking})")
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.analysis.accuracy import evaluate_classifier
 
-    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
     corpus = build_jrc_acquis_like(
-        languages=languages,
+        languages=_resolve_languages(args),
         docs_per_language=args.docs_per_language,
         words_per_document=args.words_per_document,
         seed=args.seed,
     )
     train, test = corpus.split(train_fraction=args.train_fraction, seed=args.seed)
-    classifier = BloomNGramClassifier(
-        m_bits=args.m_kbits * 1024, k=args.k, t=args.profile_size, seed=args.seed
-    )
-    classifier.fit(train)
-    report = evaluate_classifier(classifier, test)
+    identifier = LanguageIdentifier(_config_from_args(args)).train(train)
+    report = evaluate_classifier(identifier, test)
     rows = [
         (language, format_percentage(accuracy))
         for language, accuracy in report.per_language_accuracy.items()
@@ -143,15 +177,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    languages = args.languages.split(",") if args.languages else list(PAPER_LANGUAGES)
     corpus = build_jrc_acquis_like(
-        languages=languages,
+        languages=_resolve_languages(args),
         docs_per_language=args.docs_per_language,
         words_per_document=args.words_per_document,
         seed=args.seed,
     )
     train, test = corpus.split(train_fraction=args.train_fraction, seed=args.seed)
-    rows = sweep_bloom_parameters(train, test, grid=PAPER_TABLE1_GRID, t=args.profile_size, seed=args.seed)
+    rows = sweep_bloom_parameters(
+        train,
+        test,
+        grid=PAPER_TABLE1_GRID,
+        t=args.profile_size,
+        seed=args.seed,
+        backend=args.backend,
+    )
     table_rows = [row.as_table_row() for row in rows]
     print(
         format_table(
@@ -216,43 +256,68 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_corpus_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--languages", default="", help="comma-separated language codes")
+        p.add_argument(
+            "--languages",
+            type=_language_list,
+            default=None,
+            help="comma-separated language codes (whitespace around entries is ignored)",
+        )
         p.add_argument("--docs-per-language", type=int, default=50)
         p.add_argument("--words-per-document", type=int, default=600)
         p.add_argument("--seed", type=int, default=0)
+
+    def add_backend_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default="bloom",
+            help="membership engine to classify with (default: bloom)",
+        )
+
+    def add_model_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--m-kbits", type=int, default=16)
+        p.add_argument("--k", type=int, default=4)
+        p.add_argument("--profile-size", type=int, default=5000)
 
     generate = sub.add_parser("generate-corpus", help="write a synthetic corpus to a directory")
     add_corpus_options(generate)
     generate.add_argument("--output", required=True)
     generate.set_defaults(func=_cmd_generate_corpus)
 
-    train = sub.add_parser("train", help="build language profiles from a corpus directory")
+    train = sub.add_parser("train", help="train a model from a corpus directory and save it")
     train.add_argument("--corpus", required=True)
-    train.add_argument("--output", required=True)
+    train.add_argument("--output", required=True, help="model artifact path (.npz)")
     train.add_argument("--ngram", type=int, default=4)
-    train.add_argument("--profile-size", type=int, default=5000)
+    train.add_argument("--hash-family", choices=KNOWN_HASH_FAMILIES, default="h3")
+    train.add_argument("--subsample-stride", type=int, default=1)
+    train.add_argument("--seed", type=int, default=0)
+    add_model_options(train)
+    add_backend_option(train)
     train.set_defaults(func=_cmd_train)
 
-    classify = sub.add_parser("classify", help="classify text files against saved profiles")
-    classify.add_argument("--profiles", required=True)
-    classify.add_argument("--m-kbits", type=int, default=16)
-    classify.add_argument("--k", type=int, default=4)
-    classify.add_argument("--seed", type=int, default=0)
-    classify.add_argument("files", nargs="+")
+    classify = sub.add_parser("classify", help="classify text files against a saved model")
+    classify.add_argument("--model", required=True, help="model artifact written by 'train'")
+    classify.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="override the model's backend (profiles are re-programmed)",
+    )
+    classify.add_argument("files", nargs="+", help="text files to classify; '-' reads stdin")
     classify.set_defaults(func=_cmd_classify)
 
     evaluate = sub.add_parser("evaluate", help="train/test evaluation on a synthetic corpus")
     add_corpus_options(evaluate)
     evaluate.add_argument("--train-fraction", type=float, default=0.10)
-    evaluate.add_argument("--m-kbits", type=int, default=16)
-    evaluate.add_argument("--k", type=int, default=4)
-    evaluate.add_argument("--profile-size", type=int, default=5000)
+    add_model_options(evaluate)
+    add_backend_option(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="run the Table 1 (m, k) sweep")
     add_corpus_options(sweep)
     sweep.add_argument("--train-fraction", type=float, default=0.10)
     sweep.add_argument("--profile-size", type=int, default=5000)
+    add_backend_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     tables = sub.add_parser("tables", help="print the analytical Tables 2/3 reproduction")

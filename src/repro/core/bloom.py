@@ -227,11 +227,38 @@ class ParallelBloomFilter(_BloomBase):
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return np.empty(0, dtype=bool)
-        addresses = self.hashes.hash_all(keys)  # (k, n)
-        result = np.ones(keys.size, dtype=bool)
+        return self.test_addresses(self.hashes.hash_all(keys))
+
+    def test_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Membership test on precomputed hash addresses.
+
+        When many filters share one hash family (the per-language filters of the
+        classifier), the addresses can be computed once with
+        ``hashes.hash_all(keys)`` and tested against every filter through this
+        method — the same sharing the hardware gets by broadcasting the hashed
+        addresses to every language's bit-vectors.
+
+        Parameters
+        ----------
+        addresses:
+            Integer array of shape ``(k, n_keys)`` as produced by
+            :meth:`repro.hashes.base.HashFamily.hash_all`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of length ``n_keys``: the AND over the ``k``
+            per-vector lookups.
+        """
+        addresses = np.asarray(addresses)
+        if addresses.ndim != 2 or addresses.shape[0] != self.k:
+            raise ValueError(
+                f"addresses must have shape (k={self.k}, n_keys); got {addresses.shape}"
+            )
+        hits = np.ones(addresses.shape[1], dtype=bool)
         for i in range(self.k):
-            result &= self._bits[i, addresses[i]]
-        return result
+            hits &= self._bits[i, addresses[i]]
+        return hits
 
     def match_count(self, keys: np.ndarray) -> int:
         """Number of keys (with multiplicity) that test positive — the hardware counter."""
@@ -272,6 +299,33 @@ class ParallelBloomFilter(_BloomBase):
             "bits": np.packbits(self._bits, axis=1),
             "n_items": self.n_items,
         }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        payload: dict,
+        hashes: HashFamily | None = None,
+        seed: int = 0,
+    ) -> "ParallelBloomFilter":
+        """Rebuild a filter from :meth:`to_arrays` output (model persistence).
+
+        The hash family is not part of the payload; pass the same ``hashes`` (or
+        ``seed``) the filter was built with so that lookups address the restored
+        bit-vectors identically.
+        """
+        if payload.get("kind") != "parallel":
+            raise ValueError(f"payload is not a parallel Bloom filter: {payload.get('kind')!r}")
+        filt = cls(
+            m_bits=int(payload["m_bits"]),
+            k=int(payload["k"]),
+            key_bits=int(payload["key_bits"]),
+            hashes=hashes,
+            seed=seed,
+        )
+        bits = np.unpackbits(np.asarray(payload["bits"], dtype=np.uint8), axis=1)
+        filt._bits = bits[:, : filt.m_bits].astype(bool)
+        filt.n_items = int(payload["n_items"])
+        return filt
 
     @classmethod
     def from_items(

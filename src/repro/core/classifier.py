@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.bloom import ParallelBloomFilter
+from repro.core.fpr import false_positive_rate
 from repro.core.ngram import DEFAULT_N, NGramExtractor
 from repro.core.profile import DEFAULT_PROFILE_SIZE, LanguageProfile, build_profiles
 from repro.hashes.base import HashFamily
@@ -225,11 +226,7 @@ class BloomNGramClassifier(_ClassifierBase):
         # hardware gets by broadcasting the hashed addresses to every filter.
         addresses = self.hashes.hash_all(packed)  # (k, n)
         for idx, filt in enumerate(self.filters.values()):
-            hits = np.ones(packed.size, dtype=bool)
-            bits = filt._bits
-            for i in range(filt.k):
-                hits &= bits[i, addresses[i]]
-            counts[idx] = int(hits.sum())
+            counts[idx] = int(filt.test_addresses(addresses).sum())
         return counts
 
     # -- introspection -------------------------------------------------------
@@ -244,8 +241,6 @@ class BloomNGramClassifier(_ClassifierBase):
         n_items = self.t
         if self.profiles:
             n_items = max(len(p) for p in self.profiles.values())
-        from repro.core.fpr import false_positive_rate
-
         return false_positive_rate(n_items, self.m_bits, self.k)
 
     def measured_fpr(self, sample_size: int = 20000, seed: int = 1234) -> dict[str, float]:
@@ -288,15 +283,29 @@ class ExactNGramClassifier(_ClassifierBase):
             language: np.sort(profile.ngrams) for language, profile in self.profiles.items()
         }
 
+    def membership_hits(self, packed: np.ndarray):
+        """Yield ``(language, hits)`` membership masks for the packed n-grams.
+
+        The single lookup kernel shared by :meth:`match_counts` and the batch
+        path of the ``exact`` serving backend.  Languages come out in training
+        order; ``hits`` is a boolean array aligned with ``packed``.
+        """
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        for language, sorted_ngrams in self._sorted_profiles.items():
+            if sorted_ngrams.size == 0:
+                yield language, np.zeros(packed.size, dtype=bool)
+                continue
+            positions = np.searchsorted(sorted_ngrams, packed)
+            positions = np.clip(positions, 0, sorted_ngrams.size - 1)
+            yield language, sorted_ngrams[positions] == packed
+
     def match_counts(self, packed: np.ndarray) -> np.ndarray:
         self._check_trained()
         packed = np.asarray(packed, dtype=np.uint64)
         counts = np.zeros(len(self._sorted_profiles), dtype=np.int64)
         if packed.size == 0:
             return counts
-        for idx, sorted_ngrams in enumerate(self._sorted_profiles.values()):
-            positions = np.searchsorted(sorted_ngrams, packed)
-            positions = np.clip(positions, 0, sorted_ngrams.size - 1)
-            hits = sorted_ngrams[positions] == packed
+        for idx, (_language, hits) in enumerate(self.membership_hits(packed)):
             counts[idx] = int(hits.sum())
         return counts

@@ -26,6 +26,7 @@ __all__ = [
     "ngram_to_string",
     "count_ngrams",
     "top_ngrams",
+    "segment_sums",
     "subsample",
     "NGramExtractor",
 ]
@@ -125,6 +126,23 @@ def top_ngrams(packed: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
     order = np.lexsort((values, -counts))
     order = order[:t]
     return values[order], counts[order]
+
+
+def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Sum integer ``values`` over consecutive segments of the given lengths.
+
+    Reduces a concatenated multi-document stream (hits, counts, bitmap tests)
+    back to per-document totals — the reduction shared by every batch
+    classification path.  Implemented with a cumulative sum so zero-length
+    segments correctly yield 0 (``np.add.reduceat`` does not handle empty
+    segments).  Integer-only: the cumulative-difference trick is exact for
+    integers but would accumulate rounding error for floats.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    cumulative = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return cumulative[ends] - cumulative[starts]
 
 
 def subsample(packed: np.ndarray, stride: int) -> np.ndarray:

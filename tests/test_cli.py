@@ -1,7 +1,8 @@
 """Tests for the command-line interface."""
 
-import json
+import io
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,7 +19,7 @@ class TestParser:
             args = {
                 "generate-corpus": ["generate-corpus", "--output", "x"],
                 "train": ["train", "--corpus", "c", "--output", "o"],
-                "classify": ["classify", "--profiles", "p", "file.txt"],
+                "classify": ["classify", "--model", "m", "file.txt"],
                 "evaluate": ["evaluate"],
                 "sweep": ["sweep"],
                 "tables": ["tables"],
@@ -26,13 +27,31 @@ class TestParser:
             parsed = parser.parse_args(args)
             assert parsed.command == command
 
+    def test_languages_strip_whitespace(self):
+        parsed = build_parser().parse_args(["evaluate", "--languages", " en, fr "])
+        assert parsed.languages == ["en", "fr"]
+
+    def test_languages_reject_empty_entries(self, capsys):
+        for bad in ("en,,fr", " , en", ""):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["evaluate", "--languages", bad])
+            assert "non-empty" in capsys.readouterr().err
+
+    def test_backend_choices_are_registered_backends(self):
+        parsed = build_parser().parse_args(["train", "--corpus", "c", "--output", "o",
+                                            "--backend", "exact"])
+        assert parsed.backend == "exact"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--corpus", "c", "--output", "o",
+                                       "--backend", "nope"])
+
 
 class TestEndToEndCLI:
-    def test_generate_train_classify_roundtrip(self, tmp_path, capsys):
+    @pytest.fixture()
+    def trained_model(self, tmp_path):
         corpus_dir = tmp_path / "corpus"
-        profiles_path = tmp_path / "profiles.json"
-
-        exit_code = main(
+        model_path = tmp_path / "model.npz"
+        assert main(
             [
                 "generate-corpus",
                 "--languages", "en,fr",
@@ -41,30 +60,57 @@ class TestEndToEndCLI:
                 "--seed", "3",
                 "--output", str(corpus_dir),
             ]
-        )
-        assert exit_code == 0
-        assert (corpus_dir / "en").is_dir() and (corpus_dir / "fr").is_dir()
-        en_files = sorted((corpus_dir / "en").glob("*.txt"))
-        assert len(en_files) == 4
-
-        exit_code = main(
+        ) == 0
+        assert main(
             [
                 "train",
                 "--corpus", str(corpus_dir),
-                "--output", str(profiles_path),
+                "--output", str(model_path),
                 "--profile-size", "800",
             ]
-        )
-        assert exit_code == 0
-        payload = json.loads(profiles_path.read_text())
-        assert set(payload) == {"en", "fr"}
+        ) == 0
+        return corpus_dir, model_path
 
-        exit_code = main(
-            ["classify", "--profiles", str(profiles_path), str(en_files[0])]
-        )
-        assert exit_code == 0
+    def test_generate_train_classify_roundtrip(self, trained_model, capsys):
+        corpus_dir, model_path = trained_model
+        assert (corpus_dir / "en").is_dir() and (corpus_dir / "fr").is_dir()
+        en_files = sorted((corpus_dir / "en").glob("*.txt"))
+        assert len(en_files) == 4
+        assert model_path.is_file()
+
+        capsys.readouterr()
+        assert main(["classify", "--model", str(model_path), str(en_files[0])]) == 0
         output = capsys.readouterr().out
         assert "en" in output.splitlines()[-1]
+
+    def test_classify_with_backend_override(self, trained_model, capsys):
+        corpus_dir, model_path = trained_model
+        fr_file = sorted((corpus_dir / "fr").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(
+            ["classify", "--model", str(model_path), "--backend", "exact", str(fr_file)]
+        ) == 0
+        assert ": fr" in capsys.readouterr().out
+
+    def test_classify_reads_stdin(self, trained_model, capsys, monkeypatch):
+        corpus_dir, model_path = trained_model
+        fr_text = sorted((corpus_dir / "fr").glob("*.txt"))[0].read_text(encoding="latin-1")
+        monkeypatch.setattr("sys.stdin", io.StringIO(fr_text))
+        capsys.readouterr()
+        assert main(["classify", "--model", str(model_path), "-"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("<stdin>: fr")
+
+    def test_model_artifact_is_versioned_npz(self, trained_model):
+        import json
+
+        _, model_path = trained_model
+        with np.load(model_path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+        assert meta["format"] == "repro-langid-model"
+        assert meta["version"] == 1
+        assert set(meta["languages"]) == {"en", "fr"}
+        assert meta["config"]["backend"] == "bloom"
 
     def test_evaluate_prints_accuracy(self, capsys):
         exit_code = main(
@@ -81,6 +127,21 @@ class TestEndToEndCLI:
         output = capsys.readouterr().out
         assert "average accuracy" in output
         assert "%" in output
+
+    def test_evaluate_with_exact_backend(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--languages", "en,fi",
+                "--docs-per-language", "6",
+                "--words-per-document", "150",
+                "--train-fraction", "0.34",
+                "--profile-size", "800",
+                "--backend", "exact",
+            ]
+        )
+        assert exit_code == 0
+        assert "average accuracy" in capsys.readouterr().out
 
     def test_tables_prints_model_vs_paper(self, capsys):
         assert main(["tables"]) == 0

@@ -28,6 +28,10 @@ The package is organised as a set of substrates plus the paper's core contributi
     the pluggable backend registry (``bloom`` / ``exact`` / ``hw-sim`` /
     ``mguesser`` / ``hail``) and the :class:`~repro.api.identifier.LanguageIdentifier`
     facade with batch/streaming classification and model persistence.
+``repro.serve``
+    The asynchronous micro-batching classification service (replica pool,
+    LRU result cache, backpressure, metrics, JSON/HTTP front-end) — the
+    software twin of the paper's asynchronous host driver.
 
 Quickstart
 ----------
@@ -54,6 +58,7 @@ from __future__ import annotations
 
 from repro.api.config import ClassifierConfig
 from repro.api.identifier import LanguageIdentifier
+from repro.api.persistence import ModelFormatError
 from repro.api.registry import (
     Backend,
     available_backends,
@@ -78,6 +83,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ClassifierConfig",
     "LanguageIdentifier",
+    "ModelFormatError",
     "Backend",
     "register_backend",
     "get_backend",

@@ -24,7 +24,13 @@ from __future__ import annotations
 from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
 from repro.api.config import DEFAULT_BACKEND, KNOWN_HASH_FAMILIES, ClassifierConfig
 from repro.api.identifier import DEFAULT_STREAM_BATCH_SIZE, LanguageIdentifier
-from repro.api.persistence import ARTIFACT_FORMAT, ARTIFACT_VERSION, load_model, save_model
+from repro.api.persistence import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ModelFormatError,
+    load_model,
+    save_model,
+)
 from repro.api.registry import (
     Backend,
     available_backends,
@@ -46,6 +52,7 @@ __all__ = [
     "create_backend",
     "save_model",
     "load_model",
+    "ModelFormatError",
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
 ]

@@ -17,13 +17,21 @@ from typing import Any, Mapping
 from repro.core.ngram import DEFAULT_N
 from repro.core.profile import DEFAULT_PROFILE_SIZE
 
-__all__ = ["ClassifierConfig", "KNOWN_HASH_FAMILIES", "DEFAULT_BACKEND"]
+__all__ = [
+    "ClassifierConfig",
+    "KNOWN_HASH_FAMILIES",
+    "DEFAULT_BACKEND",
+    "DEFAULT_STREAM_BATCH_SIZE",
+]
 
 #: hash families accepted by :func:`repro.hashes.families.make_hash_family`
 KNOWN_HASH_FAMILIES: tuple[str, ...] = ("h3", "multiply-shift", "fnv1a", "tabulation")
 
 #: backend used when none is specified (the paper's Parallel Bloom Filter design)
 DEFAULT_BACKEND = "bloom"
+
+#: documents gathered per vectorized step by batch/stream classification
+DEFAULT_STREAM_BATCH_SIZE = 64
 
 #: bits per character code of the 5-bit alphabet (Section 3 of the paper)
 _CODE_BITS = 5
@@ -53,6 +61,11 @@ class ClassifierConfig:
     backend:
         Registry name of the membership backend (``"bloom"``, ``"exact"``,
         ``"hw-sim"``, ``"mguesser"`` or ``"hail"``).
+    stream_batch_size:
+        Documents gathered per vectorized step by
+        :meth:`~repro.api.identifier.LanguageIdentifier.classify_stream`
+        (and the CLI's ``--batch-size`` flag); larger batches amortise the
+        hashing cost better at the price of more buffered memory.
     """
 
     n: int = DEFAULT_N
@@ -63,6 +76,7 @@ class ClassifierConfig:
     seed: int = 0
     subsample_stride: int = 1
     backend: str = DEFAULT_BACKEND
+    stream_batch_size: int = DEFAULT_STREAM_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -84,6 +98,8 @@ class ClassifierConfig:
             raise ValueError("subsample_stride must be positive")
         if not self.backend or not isinstance(self.backend, str):
             raise ValueError("backend must be a non-empty string")
+        if self.stream_batch_size <= 0:
+            raise ValueError("stream_batch_size must be positive")
 
     # ------------------------------------------------------------ derived
 

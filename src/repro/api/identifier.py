@@ -20,16 +20,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
-from repro.api.config import ClassifierConfig
+from repro.api.config import DEFAULT_STREAM_BATCH_SIZE, ClassifierConfig
 from repro.api.registry import Backend, create_backend
 from repro.core.classifier import ClassificationResult
 from repro.core.ngram import NGramExtractor
 from repro.core.profile import LanguageProfile, build_profiles
 
 __all__ = ["LanguageIdentifier", "DEFAULT_STREAM_BATCH_SIZE"]
-
-#: documents gathered per vectorized step by :meth:`LanguageIdentifier.classify_stream`
-DEFAULT_STREAM_BATCH_SIZE = 64
 
 
 class LanguageIdentifier:
@@ -153,16 +150,19 @@ class LanguageIdentifier:
     def classify_stream(
         self,
         documents: Iterable[str | bytes],
-        batch_size: int = DEFAULT_STREAM_BATCH_SIZE,
+        batch_size: int | None = None,
     ) -> Iterator[ClassificationResult]:
         """Lazily classify an unbounded stream of documents.
 
-        Documents are gathered into batches of ``batch_size`` and pushed through
-        the vectorized batch path; results are yielded in input order as each
+        Documents are gathered into batches of ``batch_size`` (defaulting to
+        the configuration's ``stream_batch_size``) and pushed through the
+        vectorized batch path; results are yielded in input order as each
         batch completes, so memory stays bounded by the batch size rather than
         the stream length.  Argument and trained-state validation happens at
         call time, not at first consumption.
         """
+        if batch_size is None:
+            batch_size = self.config.stream_batch_size
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self._check_trained()

@@ -18,6 +18,7 @@ exchange.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -25,7 +26,24 @@ import numpy as np
 from repro.api.config import ClassifierConfig
 from repro.core.profile import LanguageProfile
 
-__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "save_model", "load_model"]
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ModelFormatError",
+    "save_model",
+    "load_model",
+]
+
+
+class ModelFormatError(ValueError):
+    """A model artifact is corrupt, truncated, foreign, or from the future.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` call
+    sites keep working; raised for every malformed-artifact path in
+    :func:`load_model` (bad zip container, missing metadata or arrays, wrong
+    format tag, unsupported version, undecodable configuration) instead of
+    letting NumPy's ``KeyError``/``ValueError`` internals leak through.
+    """
 
 ARTIFACT_FORMAT = "repro-langid-model"
 ARTIFACT_VERSION = 1
@@ -74,6 +92,16 @@ def load_model(path: str | Path, backend: str | None = None):
         Optional backend-name override; the stored profiles are re-programmed
         into the requested engine.  Persisted backend state is only reused when
         the stored and requested backends match.
+
+    Raises
+    ------
+    FileNotFoundError
+        If no artifact exists at ``path``.
+    ModelFormatError
+        If the file is not a valid artifact: corrupt/truncated ``.npz``
+        container, missing metadata or profile arrays, foreign format tag,
+        version newer than this library supports, or undecodable
+        configuration.
     """
     from repro.api.identifier import LanguageIdentifier
 
@@ -84,38 +112,65 @@ def load_model(path: str | Path, backend: str | None = None):
         candidate = path.with_suffix(path.suffix + ".npz")
         if candidate.exists():
             path = candidate
-    with np.load(path, allow_pickle=False) as archive:
-        if "meta" not in archive:
-            raise ValueError(f"{path} is not a {ARTIFACT_FORMAT} artifact (no metadata)")
-        meta = json.loads(str(archive["meta"]))
-        if meta.get("format") != ARTIFACT_FORMAT:
-            raise ValueError(
-                f"{path} is not a {ARTIFACT_FORMAT} artifact (format={meta.get('format')!r})"
-            )
-        if int(meta.get("version", 0)) > ARTIFACT_VERSION:
-            raise ValueError(
-                f"artifact version {meta.get('version')} is newer than supported "
-                f"version {ARTIFACT_VERSION}; upgrade the library to load {path}"
-            )
-        config = ClassifierConfig.from_dict(meta["config"])
-        stored_backend = config.backend
-        if backend is not None and backend != stored_backend:
-            config = config.replace(backend=backend)
-        profiles: dict[str, LanguageProfile] = {}
-        for language in meta["languages"]:
-            params = meta["profile_params"][language]
-            profiles[language] = LanguageProfile(
-                language=language,
-                ngrams=archive[f"{_PROFILE_PREFIX}{language}/ngrams"],
-                counts=archive[f"{_PROFILE_PREFIX}{language}/counts"],
-                n=int(params["n"]),
-                t=int(params["t"]),
-            )
-        state = {
-            key[len(_STATE_PREFIX) :]: archive[key]
-            for key in archive.files
-            if key.startswith(_STATE_PREFIX)
-        }
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "meta" not in archive:
+                raise ModelFormatError(
+                    f"{path} is not a {ARTIFACT_FORMAT} artifact (no metadata)"
+                )
+            try:
+                meta = json.loads(str(archive["meta"]))
+            except json.JSONDecodeError as exc:
+                raise ModelFormatError(f"{path} has undecodable metadata: {exc}") from exc
+            if not isinstance(meta, dict) or meta.get("format") != ARTIFACT_FORMAT:
+                fmt = meta.get("format") if isinstance(meta, dict) else meta
+                raise ModelFormatError(
+                    f"{path} is not a {ARTIFACT_FORMAT} artifact (format={fmt!r})"
+                )
+            if int(meta.get("version", 0)) > ARTIFACT_VERSION:
+                raise ModelFormatError(
+                    f"artifact version {meta.get('version')} is newer than supported "
+                    f"version {ARTIFACT_VERSION}; upgrade the library to load {path}"
+                )
+            try:
+                config = ClassifierConfig.from_dict(meta["config"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ModelFormatError(
+                    f"{path} has an invalid stored configuration: {exc}"
+                ) from exc
+            stored_backend = config.backend
+            if backend is not None and backend != stored_backend:
+                config = config.replace(backend=backend)
+            profiles: dict[str, LanguageProfile] = {}
+            try:
+                languages = meta["languages"]
+                for language in languages:
+                    params = meta["profile_params"][language]
+                    profiles[language] = LanguageProfile(
+                        language=language,
+                        ngrams=archive[f"{_PROFILE_PREFIX}{language}/ngrams"],
+                        counts=archive[f"{_PROFILE_PREFIX}{language}/counts"],
+                        n=int(params["n"]),
+                        t=int(params["t"]),
+                    )
+            except KeyError as exc:
+                raise ModelFormatError(
+                    f"{path} is missing profile data for key {exc.args[0]!r} "
+                    "(truncated or hand-edited artifact?)"
+                ) from exc
+            state = {
+                key[len(_STATE_PREFIX) :]: archive[key]
+                for key in archive.files
+                if key.startswith(_STATE_PREFIX)
+            }
+    except ModelFormatError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        # np.load and lazy member reads surface container corruption through a
+        # grab-bag of exception types; normalise them all.
+        raise ModelFormatError(f"{path} is not a readable .npz model artifact: {exc}") from exc
     identifier = LanguageIdentifier(config)
     if state and config.backend == stored_backend:
         identifier.backend.import_state(profiles, state)

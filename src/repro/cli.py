@@ -18,6 +18,10 @@ Subcommands
 ``tables``
     Print the analytical reproductions of Tables 2 and 3 and the engine's
     theoretical peak throughput.
+``serve``
+    Start the asynchronous micro-batching HTTP classification service
+    (:mod:`repro.serve`) on a saved model: ``POST /classify``,
+    ``GET /healthz``, ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from pathlib import Path
 from repro.analysis.reporting import format_percentage, format_table
 from repro.analysis.sweep import PAPER_TABLE1_GRID, sweep_bloom_parameters
 from repro.api import ClassifierConfig, LanguageIdentifier, available_backends
-from repro.api.config import KNOWN_HASH_FAMILIES
+from repro.api.config import DEFAULT_STREAM_BATCH_SIZE, KNOWN_HASH_FAMILIES
 from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
 from repro.corpus.languages import PAPER_LANGUAGES
 from repro.hardware.resources import (
@@ -85,6 +89,13 @@ def _resolve_languages(args: argparse.Namespace) -> list[str]:
     return args.languages if args.languages else list(PAPER_LANGUAGES)
 
 
+def _positive_int(spec: str) -> int:
+    value = int(spec)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {spec!r}")
+    return value
+
+
 def _read_stdin_document() -> str:
     stdin = sys.stdin
     buffer = getattr(stdin, "buffer", None)
@@ -101,6 +112,7 @@ def _config_from_args(args: argparse.Namespace) -> ClassifierConfig:
         seed=args.seed,
         subsample_stride=getattr(args, "subsample_stride", 1),
         backend=args.backend,
+        stream_batch_size=getattr(args, "batch_size", None) or DEFAULT_STREAM_BATCH_SIZE,
     )
 
 
@@ -139,19 +151,34 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    from collections import deque
+
     identifier = LanguageIdentifier.load(Path(args.model), backend=args.backend)
     stdin_text: str | None = None
-    for file_name in args.files:
-        if file_name == "-":
-            # stdin holds one document; read it once and reuse for repeated '-'.
-            if stdin_text is None:
-                stdin_text = _read_stdin_document()
-            label, text = "<stdin>", stdin_text
-        else:
-            label, text = file_name, Path(file_name).read_text(encoding="latin-1")
-        result = identifier.classify(text)
+    # Lazily read files inside the generator so memory stays bounded by the
+    # stream batch size, not the total corpus; labels are queued as each
+    # document is read and dequeued as its result arrives (results come back
+    # in input order).
+    labels: deque[str] = deque()
+
+    def documents():
+        nonlocal stdin_text
+        for file_name in args.files:
+            if file_name == "-":
+                # stdin holds one document; read it once and reuse for repeated '-'.
+                if stdin_text is None:
+                    stdin_text = _read_stdin_document()
+                labels.append("<stdin>")
+                yield stdin_text
+            else:
+                labels.append(file_name)
+                yield Path(file_name).read_text(encoding="latin-1")
+
+    # Stream through the vectorized batch path; --batch-size overrides the
+    # model configuration's stream_batch_size.
+    for result in identifier.classify_stream(documents(), batch_size=args.batch_size):
         ranking = ", ".join(f"{lang}={count}" for lang, count in result.ranking()[:3])
-        print(f"{label}: {result.language}  ({ranking})")
+        print(f"{labels.popleft()}: {result.language}  ({ranking})")
     return 0
 
 
@@ -244,6 +271,48 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ClassificationService, ServeConfig, serve_http
+
+    service = ClassificationService(
+        Path(args.model),
+        ServeConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            replicas=args.replicas,
+            sharding=args.sharding,
+            cache_size=args.cache_size,
+            max_pending=args.max_pending,
+        ),
+    )
+
+    async def run() -> None:
+        async with service:
+            server = await serve_http(service, host=args.host, port=args.port)
+            bound = server.sockets[0].getsockname()
+            print(
+                f"serving {len(service.languages)} languages on http://{bound[0]}:{bound[1]} "
+                f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms} ms, "
+                f"replicas={args.replicas}, sharding={args.sharding})"
+            )
+            try:
+                async with server:
+                    await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down (drained in-flight batches)")
+    return 0
+
+
 # --------------------------------------------------------------------- parser
 
 
@@ -284,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--output", required=True)
     generate.set_defaults(func=_cmd_generate_corpus)
 
+    def add_batch_size_option(p: argparse.ArgumentParser, default: int | None) -> None:
+        p.add_argument(
+            "--batch-size",
+            type=_positive_int,
+            default=default,
+            help="documents per vectorized batch/stream step "
+            f"(default: the model configuration's value, {DEFAULT_STREAM_BATCH_SIZE} fresh)",
+        )
+
     train = sub.add_parser("train", help="train a model from a corpus directory and save it")
     train.add_argument("--corpus", required=True)
     train.add_argument("--output", required=True, help="model artifact path (.npz)")
@@ -291,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hash-family", choices=KNOWN_HASH_FAMILIES, default="h3")
     train.add_argument("--subsample-stride", type=int, default=1)
     train.add_argument("--seed", type=int, default=0)
+    add_batch_size_option(train, DEFAULT_STREAM_BATCH_SIZE)
     add_model_options(train)
     add_backend_option(train)
     train.set_defaults(func=_cmd_train)
@@ -303,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the model's backend (profiles are re-programmed)",
     )
+    add_batch_size_option(classify, None)
     classify.add_argument("files", nargs="+", help="text files to classify; '-' reads stdin")
     classify.set_defaults(func=_cmd_classify)
 
@@ -322,6 +402,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = sub.add_parser("tables", help="print the analytical Tables 2/3 reproduction")
     tables.set_defaults(func=_cmd_tables)
+
+    serve = sub.add_parser(
+        "serve", help="serve a saved model over HTTP with async micro-batching"
+    )
+    serve.add_argument("--model", required=True, help="model artifact written by 'train'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
+    serve.add_argument(
+        "--max-batch", type=_positive_int, default=64,
+        help="flush a batch once this many requests are pending",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="flush a partial batch after the oldest request waited this long",
+    )
+    serve.add_argument(
+        "--replicas", type=_positive_int, default=1,
+        help="independent model replicas classifying concurrently",
+    )
+    serve.add_argument(
+        "--sharding", choices=("round-robin", "hash"), default="round-robin",
+        help="request dispatch across replicas",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--max-pending", type=_positive_int, default=1024,
+        help="per-replica queue bound; beyond it requests get 429",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,57 @@
+"""repro.serve — the asynchronous micro-batching classification service.
+
+A software realisation of the paper's Section 5.4 result: the asynchronous
+host driver nearly doubled throughput (~228 → ~470 MB/s) by decoupling
+document submission from result collection so the engine never waits.  This
+subsystem applies the same architecture to the software engine:
+
+:class:`~repro.serve.batcher.MicroBatcher`
+    Bounded request queue flushed by size (``max_batch``) or deadline
+    (``max_delay_ms``) into the vectorized ``classify_batch`` path.
+:class:`~repro.serve.replicas.ReplicaPool`
+    N bit-exact model replicas, each with a dedicated worker thread;
+    round-robin or digest-hash sharding.
+:class:`~repro.serve.cache.ResultCache`
+    LRU result cache keyed on a BLAKE2b digest of the document.
+:class:`~repro.serve.metrics.ServiceMetrics`
+    Request counters, batch-size histogram, p50/p95/p99 latency, MB/s.
+:class:`~repro.serve.service.ClassificationService`
+    The programmatic API tying the above together with explicit backpressure
+    and graceful draining shutdown.
+:func:`~repro.serve.http.serve_http`
+    Stdlib-only JSON/HTTP front-end (``POST /classify``, ``GET /healthz``,
+    ``GET /metrics``); also exposed as ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache, text_digest
+from repro.serve.errors import (
+    RequestTooLargeError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.http import result_to_json, serve_http
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.replicas import ReplicaPool, clone_identifier
+from repro.serve.service import ClassificationService, ServeConfig
+
+__all__ = [
+    "MicroBatcher",
+    "ResultCache",
+    "text_digest",
+    "ServeError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "RequestTooLargeError",
+    "ServiceMetrics",
+    "percentile",
+    "ReplicaPool",
+    "clone_identifier",
+    "ClassificationService",
+    "ServeConfig",
+    "serve_http",
+    "result_to_json",
+]

@@ -1,0 +1,87 @@
+"""LRU result cache keyed on a fast digest of the document text.
+
+Identical documents are common in real feeds (boilerplate, retries, popular
+pages), and a Bloom-filter classifier is deterministic, so a result computed
+once can be replayed for every identical submission.  The cache key is a
+128-bit BLAKE2b digest of the raw document bytes — collision probability is
+negligible and hashing is far cheaper than re-classifying.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.classifier import ClassificationResult
+
+__all__ = ["ResultCache", "text_digest"]
+
+
+def text_digest(text: str | bytes) -> bytes:
+    """128-bit BLAKE2b digest of a document (strings hashed as UTF-8)."""
+    import hashlib
+
+    data = text.encode("utf-8", "surrogatepass") if isinstance(text, str) else bytes(text)
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+class ResultCache:
+    """Bounded LRU mapping ``digest -> ClassificationResult``.
+
+    A ``capacity`` of zero disables caching (every lookup misses, stores are
+    dropped), which lets the service keep one code path.  Hits return a fresh
+    :class:`~repro.core.classifier.ClassificationResult` with a copied
+    ``match_counts`` dict so callers can mutate their result without
+    corrupting the cached entry.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[bytes, ClassificationResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: bytes) -> ClassificationResult | None:
+        """The cached result for ``digest``, refreshed to most-recently-used."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        return ClassificationResult(
+            language=entry.language,
+            match_counts=dict(entry.match_counts),
+            ngram_count=entry.ngram_count,
+        )
+
+    def put(self, digest: bytes, result: ClassificationResult) -> None:
+        """Store ``result``, evicting the least-recently-used entry when full."""
+        if self.capacity == 0:
+            return
+        self._entries[digest] = ClassificationResult(
+            language=result.language,
+            match_counts=dict(result.match_counts),
+            ngram_count=result.ngram_count,
+        )
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy (feeds the service metrics snapshot)."""
+        lookups = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

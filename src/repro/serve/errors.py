@@ -1,0 +1,36 @@
+"""Exception taxonomy of the serving subsystem.
+
+Every rejection the service can produce maps onto one of these types so the
+HTTP layer can translate them mechanically (429 for overload, 413 for
+oversized documents, 503 while shutting down) and programmatic callers can
+catch one base class, :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "RequestTooLargeError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for every serving-layer rejection."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The bounded request queue is full: explicit backpressure.
+
+    Mirrors the hardware pipeline refusing new commands while a document is in
+    flight (Section 4.3); the caller should retry with backoff or shed load.
+    """
+
+
+class ServiceClosedError(ServeError):
+    """The service is not accepting requests (not started, or shutting down)."""
+
+
+class RequestTooLargeError(ServeError):
+    """A single document exceeds ``ServeConfig.max_document_bytes``."""

@@ -1,0 +1,229 @@
+"""Minimal asyncio JSON/HTTP front-end for :class:`ClassificationService`.
+
+Stdlib-only (``asyncio`` streams + hand-rolled HTTP/1.1 framing) so the
+serving stack adds no dependencies beyond NumPy.  Endpoints:
+
+``POST /classify``
+    Body ``{"text": "..."}`` → one result, or ``{"texts": ["...", ...]}`` →
+    ``{"results": [...]}``.  Rejections map onto status codes: 413 for
+    oversized documents, 429 for backpressure, 503 while shutting down.
+``GET /healthz``
+    Service topology and status (JSON).
+``GET /metrics``
+    Full metrics snapshot as JSON; ``GET /metrics?format=text`` returns the
+    Prometheus-style exposition instead.
+
+The framing intentionally supports only what the service needs: one request
+per read, ``Content-Length`` bodies, keep-alive until the client closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.classifier import ClassificationResult
+from repro.serve.errors import (
+    RequestTooLargeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.service import ClassificationService
+
+__all__ = ["serve_http", "result_to_json", "DEFAULT_MAX_BODY_BYTES"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+#: largest accepted request body; bounds per-connection buffering *before* the
+#: body is read (the service's per-document max_document_bytes check can only
+#: run after parsing, which would be too late for a multi-gigabyte upload)
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def result_to_json(result: ClassificationResult) -> dict:
+    """Wire form of one classification result."""
+    return {
+        "language": result.language,
+        "match_counts": result.match_counts,
+        "ngram_count": result.ngram_count,
+        "margin": result.margin,
+    }
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, close_connection: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        # set when the request body was left unread, so the connection's byte
+        # stream is no longer aligned with request boundaries
+        self.close_connection = close_connection
+
+
+def _encode_response(status: int, body: bytes, content_type: str) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: dict) -> bytes:
+    return _encode_response(
+        status, json.dumps(payload).encode("utf-8"), "application/json"
+    )
+
+
+async def _read_request(reader: asyncio.StreamReader, max_body_bytes: int):
+    """Parse one request; returns ``(method, path, query, body)`` or None at EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise _HttpError(400, "request head too large") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, f"malformed request line {lines[0]!r}") from None
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        content_length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "invalid Content-Length") from None
+    if content_length < 0:
+        raise _HttpError(400, "invalid Content-Length", close_connection=True)
+    if content_length > max_body_bytes:
+        # reject before buffering; the unread body forces a connection close
+        raise _HttpError(
+            413,
+            f"request body of {content_length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+            close_connection=True,
+        )
+    body = await reader.readexactly(content_length) if content_length else b""
+    path, _sep, query = target.partition("?")
+    return method.upper(), path, query, body
+
+
+async def _dispatch(service: ClassificationService, method, path, query, body) -> bytes:
+    if path == "/healthz":
+        if method != "GET":
+            raise _HttpError(405, "use GET for /healthz")
+        return _json_response(200, service.describe())
+    if path == "/metrics":
+        if method != "GET":
+            raise _HttpError(405, "use GET for /metrics")
+        if "format=text" in query:
+            return _encode_response(
+                200, service.metrics.render_text().encode("utf-8"), "text/plain"
+            )
+        return _json_response(200, service.metrics.snapshot())
+    if path == "/classify":
+        if method != "POST":
+            raise _HttpError(405, "use POST for /classify")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        try:
+            if "texts" in payload:
+                texts = payload["texts"]
+                if not isinstance(texts, list) or not all(
+                    isinstance(t, str) for t in texts
+                ):
+                    raise _HttpError(400, '"texts" must be a list of strings')
+                results = await service.classify_many(texts)
+                return _json_response(
+                    200, {"results": [result_to_json(r) for r in results]}
+                )
+            text = payload.get("text")
+            if not isinstance(text, str):
+                raise _HttpError(400, 'body must contain "text" (string) or "texts" (list)')
+            return _json_response(200, result_to_json(await service.classify(text)))
+        except RequestTooLargeError as exc:
+            raise _HttpError(413, str(exc)) from None
+        except ServiceOverloadedError as exc:
+            raise _HttpError(429, str(exc)) from None
+        except ServiceClosedError as exc:
+            raise _HttpError(503, str(exc)) from None
+    raise _HttpError(404, f"no such endpoint {path!r}")
+
+
+def make_connection_handler(
+    service: ClassificationService, max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+):
+    """The ``asyncio.start_server`` callback serving one client connection."""
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                must_close = False
+                try:
+                    request = await _read_request(reader, max_body_bytes)
+                    if request is None:
+                        break
+                    response = await _dispatch(service, *request)
+                except _HttpError as exc:
+                    response = _json_response(exc.status, {"error": exc.message})
+                    must_close = exc.close_connection
+                except Exception as exc:  # noqa: BLE001 - keep the connection alive
+                    response = _json_response(500, {"error": f"internal error: {exc}"})
+                writer.write(response)
+                await writer.drain()
+                if must_close:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    return handle
+
+
+async def serve_http(
+    service: ClassificationService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> asyncio.base_events.Server:
+    """Start the HTTP front-end; the service must already be running.
+
+    Returns the ``asyncio`` server; callers own its lifecycle (``close()`` /
+    ``wait_closed()``).  Pass ``port=0`` to bind an ephemeral port (tests).
+    ``max_body_bytes`` bounds request-body buffering: larger uploads are
+    rejected with 413 before the body is read.
+    """
+    return await asyncio.start_server(
+        make_connection_handler(service, max_body_bytes), host, port
+    )

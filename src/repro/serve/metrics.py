@@ -1,0 +1,158 @@
+"""Service metrics: request counters, batch-size histogram, latency percentiles.
+
+The asynchronous host driver of the paper was judged on two axes — realised
+throughput (Figure 4) and how full it kept the engine's pipeline.  The
+software service mirrors both: MB/s over the serving window, and the
+batch-size histogram, which shows directly whether the micro-batcher is
+coalescing requests (mass at ``max_batch``) or degenerating into the
+request-at-a-time baseline (mass at 1).
+
+Latencies are kept in a bounded reservoir (most recent ``reservoir_size``
+observations) so percentile queries stay O(window) regardless of uptime.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples`` by linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be between 0 and 100")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+class ServiceMetrics:
+    """Mutable metric registry owned by one :class:`~repro.serve.service.ClassificationService`.
+
+    All methods are synchronous and designed to be called from the event-loop
+    thread; nothing here blocks.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, clock=time.monotonic):
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self._clock = clock
+        self.started_at = clock()
+        self.requests_total = 0
+        self.responses_total = 0
+        self.cache_hits = 0
+        self.rejected_overload = 0
+        self.rejected_too_large = 0
+        self.errors_total = 0
+        self.batches_total = 0
+        self.bytes_total = 0
+        self.batch_sizes: Counter[int] = Counter()
+        self._latencies: deque[float] = deque(maxlen=reservoir_size)
+
+    # ------------------------------------------------------------ recording
+
+    def record_request(self, n_bytes: int) -> None:
+        """Count one *admitted* request (rejections go to :meth:`record_rejection`,
+        so ``requests_total + rejected_* `` is the total arrival count)."""
+        self.requests_total += 1
+        self.bytes_total += int(n_bytes)
+
+    def record_response(self, latency_seconds: float, cached: bool = False) -> None:
+        self.responses_total += 1
+        if cached:
+            self.cache_hits += 1
+        self._latencies.append(float(latency_seconds))
+
+    def record_rejection(self, reason: str) -> None:
+        if reason == "overload":
+            self.rejected_overload += 1
+        elif reason == "too-large":
+            self.rejected_too_large += 1
+        else:
+            self.errors_total += 1
+
+    def record_batch(self, size: int) -> None:
+        self.batches_total += 1
+        self.batch_sizes[int(size)] += 1
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def uptime_seconds(self) -> float:
+        return max(self._clock() - self.started_at, 1e-9)
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Accepted payload bytes per second over the whole serving window."""
+        return self.bytes_total / self.uptime_seconds / 1e6
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * count for size, count in self.batch_sizes.items())
+        return total / self.batches_total if self.batches_total else 0.0
+
+    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[str, float]:
+        """Seconds at each requested percentile of the latency reservoir."""
+        window = list(self._latencies)
+        return {f"p{q:g}": percentile(window, q) for q in qs}
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        """Exact ``batch size -> flush count`` mapping, sorted by batch size."""
+        return dict(sorted(self.batch_sizes.items()))
+
+    # ------------------------------------------------------------ export
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric (served by ``GET /metrics``)."""
+        latencies = self.latency_percentiles()
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests_total": self.requests_total,
+            "responses_total": self.responses_total,
+            "cache_hits": self.cache_hits,
+            "rejected_overload": self.rejected_overload,
+            "rejected_too_large": self.rejected_too_large,
+            "errors_total": self.errors_total,
+            "batches_total": self.batches_total,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count for size, count in self.batch_size_histogram().items()
+            },
+            "bytes_total": self.bytes_total,
+            "throughput_mb_s": self.throughput_mb_s,
+            "latency_seconds": latencies,
+            "latency_ms": {name: 1e3 * value for name, value in latencies.items()},
+        }
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition of the scalar metrics plus the histogram."""
+        lines = []
+        snapshot = self.snapshot()
+        for name in (
+            "uptime_seconds",
+            "requests_total",
+            "responses_total",
+            "cache_hits",
+            "rejected_overload",
+            "rejected_too_large",
+            "errors_total",
+            "batches_total",
+            "mean_batch_size",
+            "bytes_total",
+            "throughput_mb_s",
+        ):
+            lines.append(f"repro_serve_{name} {snapshot[name]}")
+        for name, value in snapshot["latency_seconds"].items():
+            lines.append(f'repro_serve_latency_seconds{{quantile="{name}"}} {value}')
+        for size, count in self.batch_size_histogram().items():
+            lines.append(f'repro_serve_batch_size_total{{size="{size}"}} {count}')
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,118 @@
+"""Replica pool: N independent model copies, each with its own worker thread.
+
+The paper scales by instantiating one classifier pipeline per language and
+streaming every document past all of them; the serving layer scales the other
+axis — several complete engine replicas so independent batches classify
+concurrently.  Each replica is a bit-exact clone of the source
+:class:`~repro.api.identifier.LanguageIdentifier` (cloned through the
+backend's ``export_state``/``import_state`` fast path when available) paired
+with a dedicated single-thread executor, so no mutable state is ever shared
+between event-loop workers and NumPy kernels overlap across OS threads.
+
+Two dispatch disciplines are offered:
+
+``round-robin``
+    Strict rotation — even load, best for uniform traffic.
+``hash``
+    Shard by the document digest, so identical documents always land on the
+    same replica (keeps per-replica working sets disjoint and makes any
+    replica-local caching coherent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Sequence
+
+from repro.api.identifier import LanguageIdentifier
+from repro.core.classifier import ClassificationResult
+
+__all__ = ["ReplicaPool", "clone_identifier", "SHARDING_DISCIPLINES"]
+
+SHARDING_DISCIPLINES = ("round-robin", "hash")
+
+
+def clone_identifier(identifier: LanguageIdentifier) -> LanguageIdentifier:
+    """A bit-exact, state-disjoint copy of a trained identifier.
+
+    Uses the backend's persisted-state fast path when it exports one (the
+    ``bloom`` backend's packed bit-vectors), otherwise re-programs the clone
+    from the profiles — both are deterministic, so every replica answers
+    identically to the source.
+    """
+    if not identifier.is_trained:
+        raise RuntimeError("cannot replicate an untrained identifier")
+    clone = LanguageIdentifier(identifier.config)
+    state = identifier.backend.export_state()
+    if state:
+        clone.backend.import_state(identifier.profiles, state)
+    else:
+        clone.train_profiles(identifier.profiles)
+    return clone
+
+
+class ReplicaPool:
+    """``n_replicas`` identifier clones with one single-thread executor each."""
+
+    def __init__(self, identifier: LanguageIdentifier, n_replicas: int = 1):
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        # Replica 0 reuses the caller's identifier; further replicas are clones.
+        self.replicas: list[LanguageIdentifier] = [identifier]
+        self.replicas += [clone_identifier(identifier) for _ in range(n_replicas - 1)]
+        self._executors = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-serve-replica-{i}")
+            for i in range(n_replicas)
+        ]
+        self._rr_next = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def languages(self) -> list[str]:
+        return self.replicas[0].languages
+
+    # ------------------------------------------------------------ dispatch
+
+    def next_round_robin(self) -> int:
+        """The next replica index under strict rotation."""
+        index = self._rr_next
+        self._rr_next = (self._rr_next + 1) % len(self.replicas)
+        return index
+
+    def shard_for(self, digest: bytes) -> int:
+        """The replica a digest shards onto (stable across calls)."""
+        return int.from_bytes(digest[:8], "little") % len(self.replicas)
+
+    # ------------------------------------------------------------ classification
+
+    async def classify_batch(
+        self, replica_index: int, texts: Sequence[str | bytes]
+    ) -> list[ClassificationResult]:
+        """Run one replica's vectorized batch path in its dedicated thread."""
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        replica = self.replicas[replica_index]
+        executor = self._executors[replica_index]
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, replica.classify_batch, list(texts))
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Shut the worker threads down (waits for in-flight batches)."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+
+    def describe(self) -> dict:
+        return {
+            "replicas": len(self.replicas),
+            "languages": self.languages,
+            "backend": self.replicas[0].config.backend,
+        }

@@ -1,0 +1,253 @@
+"""`ClassificationService` — the programmatic face of the serving subsystem.
+
+Wires the pieces together the way Section 5.4's asynchronous driver wires the
+XD1000: submissions land in bounded per-replica queues
+(:class:`~repro.serve.batcher.MicroBatcher`), each queue drains through its
+replica's vectorized ``classify_batch`` in a dedicated thread
+(:class:`~repro.serve.replicas.ReplicaPool`), results resolve the caller's
+futures, and an LRU cache short-circuits repeated documents before they ever
+reach a queue.  Every decision is observable through
+:class:`~repro.serve.metrics.ServiceMetrics`.
+
+Typical use::
+
+    service = ClassificationService(identifier, ServeConfig(max_batch=128))
+    async with service:
+        result = await service.classify("quel est ce document ?")
+
+Shutdown is graceful by contract: ``close()`` stops admissions, drains every
+queued request through the engine, then joins the worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.api.identifier import LanguageIdentifier
+from repro.core.classifier import ClassificationResult
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache, text_digest
+from repro.serve.errors import (
+    RequestTooLargeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.replicas import SHARDING_DISCIPLINES, ReplicaPool
+
+__all__ = ["ServeConfig", "ClassificationService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one :class:`ClassificationService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Largest batch handed to ``classify_batch`` (the size flush trigger).
+    max_delay_ms:
+        Longest a request may wait for its batch to fill (the deadline flush
+        trigger); the knee of the latency/throughput trade-off.
+    replicas:
+        Number of independent model replicas classifying concurrently.
+    sharding:
+        ``"round-robin"`` rotation or ``"hash"`` (shard by document digest).
+    cache_size:
+        LRU result-cache entries; 0 disables caching.
+    max_pending:
+        Bound on queued requests per replica; beyond it submissions are
+        rejected with :class:`~repro.serve.errors.ServiceOverloadedError`.
+    max_document_bytes:
+        Largest accepted document; larger ones are rejected with
+        :class:`~repro.serve.errors.RequestTooLargeError`.
+    """
+
+    max_batch: int = 64
+    max_delay_ms: float = 2.0
+    replicas: int = 1
+    sharding: str = "round-robin"
+    cache_size: int = 1024
+    max_pending: int = 1024
+    max_document_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.sharding not in SHARDING_DISCIPLINES:
+            raise ValueError(
+                f"unknown sharding discipline {self.sharding!r}; "
+                f"choose from {list(SHARDING_DISCIPLINES)}"
+            )
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.max_document_bytes <= 0:
+            raise ValueError("max_document_bytes must be positive")
+
+
+class ClassificationService:
+    """Async micro-batching language-classification service.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.api.identifier.LanguageIdentifier`, or a path
+        to a saved ``.npz`` model artifact (loaded on construction).
+    config:
+        The :class:`ServeConfig`; defaults favour throughput with a 2 ms
+        latency budget.
+    """
+
+    def __init__(
+        self,
+        model: LanguageIdentifier | str | Path,
+        config: ServeConfig | None = None,
+    ):
+        if isinstance(model, (str, Path)):
+            model = LanguageIdentifier.load(model)
+        if not model.is_trained:
+            raise RuntimeError("the service needs a trained model; call train() first")
+        self.identifier = model
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(self.config.cache_size)
+        self._pool: ReplicaPool | None = None
+        self._batchers: list[MicroBatcher] = []
+        self._started = False
+        self._closing = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def is_running(self) -> bool:
+        return self._started and not self._closing
+
+    async def start(self) -> "ClassificationService":
+        """Build the replica pool and start one micro-batcher per replica."""
+        if self._started:
+            return self
+        self._pool = ReplicaPool(self.identifier, self.config.replicas)
+        self._batchers = []
+        for replica_index in range(self.config.replicas):
+            batcher = MicroBatcher(
+                self._make_flush(replica_index),
+                max_batch=self.config.max_batch,
+                max_delay=self.config.max_delay_ms / 1e3,
+                max_pending=self.config.max_pending,
+            )
+            batcher.start()
+            self._batchers.append(batcher)
+        self._started = True
+        self._closing = False
+        return self
+
+    async def close(self) -> None:
+        """Graceful shutdown: reject new work, drain in-flight batches, join workers."""
+        if not self._started or self._closing:
+            return
+        self._closing = True
+        for batcher in self._batchers:
+            await batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+        self._started = False
+
+    async def __aenter__(self) -> "ClassificationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ classification
+
+    def _make_flush(self, replica_index: int):
+        async def flush(texts: Sequence[str | bytes]) -> Sequence[ClassificationResult]:
+            self.metrics.record_batch(len(texts))
+            return await self._pool.classify_batch(replica_index, texts)
+
+        return flush
+
+    def _document_bytes(self, text: str | bytes) -> int:
+        return len(text) if isinstance(text, (bytes, bytearray)) else len(text.encode("utf-8"))
+
+    def _pick_batcher(self, digest: bytes) -> MicroBatcher:
+        if self.config.sharding == "hash":
+            return self._batchers[self._pool.shard_for(digest)]
+        return self._batchers[self._pool.next_round_robin()]
+
+    async def classify(self, text: str | bytes) -> ClassificationResult:
+        """Classify one document through the cache + micro-batch pipeline.
+
+        Raises
+        ------
+        ServiceClosedError
+            If the service is not running (not started, or shutting down).
+        RequestTooLargeError
+            If the document exceeds ``max_document_bytes``.
+        ServiceOverloadedError
+            If the target replica's queue is full (backpressure).
+        """
+        if not self.is_running:
+            raise ServiceClosedError("service is not running; use 'async with' or start()")
+        n_bytes = self._document_bytes(text)
+        if n_bytes > self.config.max_document_bytes:
+            self.metrics.record_rejection("too-large")
+            raise RequestTooLargeError(
+                f"document of {n_bytes} bytes exceeds the "
+                f"{self.config.max_document_bytes}-byte limit"
+            )
+        start = time.perf_counter()
+        digest = text_digest(text)
+        cached = self.cache.get(digest)
+        if cached is not None:
+            self.metrics.record_request(n_bytes)
+            self.metrics.record_response(time.perf_counter() - start, cached=True)
+            return cached
+        try:
+            future = self._pick_batcher(digest).submit_nowait(text)
+        except ServiceOverloadedError:
+            self.metrics.record_rejection("overload")
+            raise
+        # admitted: requests_total / bytes_total count only documents the
+        # service accepted, so rejections never inflate throughput_mb_s
+        self.metrics.record_request(n_bytes)
+        result = await future
+        self.cache.put(digest, result)
+        self.metrics.record_response(time.perf_counter() - start)
+        return result
+
+    async def classify_many(self, texts: Sequence[str | bytes]) -> list[ClassificationResult]:
+        """Classify several documents concurrently (one result per input, in order)."""
+        return list(await asyncio.gather(*(self.classify(text) for text in texts)))
+
+    # ------------------------------------------------------------ introspection
+
+    @property
+    def languages(self) -> list[str]:
+        return self.identifier.languages
+
+    def describe(self) -> dict:
+        """Service topology + model description (served by ``GET /healthz``)."""
+        info = {
+            "status": "ok" if self.is_running else "stopped",
+            "languages": self.languages,
+            "backend": self.identifier.config.backend,
+            "max_batch": self.config.max_batch,
+            "max_delay_ms": self.config.max_delay_ms,
+            "replicas": self.config.replicas,
+            "sharding": self.config.sharding,
+            "cache": self.cache.stats(),
+        }
+        if self._pool is not None:
+            info["pending"] = [len(batcher) for batcher in self._batchers]
+        return info

@@ -17,6 +17,12 @@ the link/DMA models plus a small set of timing parameters
 (:class:`HostTimingParameters`).  The defaults are calibrated so that 10 KB average
 documents reproduce the paper's measured throughputs; the calibration is documented
 field by field and checked by the Figure 4 benchmark.
+
+The asynchronous driver has a software twin: :mod:`repro.serve` applies the same
+submission/collection decoupling to the software engine, with
+:class:`~repro.serve.batcher.MicroBatcher` playing the role of the streaming send
+thread and :class:`~repro.serve.service.ClassificationService` the role of this
+driver (the serve load-generator benchmark reproduces the sync-vs-async ratio).
 """
 
 from __future__ import annotations
@@ -142,6 +148,10 @@ class AsynchronousHostDriver(_DriverBase):
     are issued while the current one is in flight, and results come back via
     FPGA-initiated DMA collected by a second thread.  Only the bulk transfer itself
     and a small non-overlappable software cost remain on the critical path.
+
+    Software twin: :class:`repro.serve.service.ClassificationService`, whose
+    micro-batcher keeps the vectorized engine saturated the same way this driver
+    keeps the FPGA pipeline full.
     """
 
     def document_seconds(self, n_bytes: int, engine_seconds: float = 0.0) -> DocumentTiming:

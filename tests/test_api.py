@@ -10,8 +10,10 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    DEFAULT_STREAM_BATCH_SIZE,
     ClassifierConfig,
     LanguageIdentifier,
+    ModelFormatError,
     available_backends,
     create_backend,
     get_backend,
@@ -249,3 +251,108 @@ class TestPersistence:
                 live = identifier.backend.classifier.filters[language]
                 stored = np.unpackbits(archive[f"state/bits:{language}"], axis=1)
                 assert np.array_equal(stored[:, : live.m_bits].astype(bool), live.bit_vectors)
+
+
+class TestModelFormatErrors:
+    """Corrupt, truncated, foreign, or future artifacts raise ``ModelFormatError``."""
+
+    @pytest.fixture()
+    def artifact(self, train_corpus, tmp_path):
+        return _identifier("bloom", train_corpus).save(tmp_path / "model.npz")
+
+    def _rewrite_meta(self, artifact, mutate):
+        import json
+
+        with np.load(artifact, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["meta"]))
+        mutate(meta)
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        np.savez(artifact, **arrays)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            LanguageIdentifier.load(tmp_path / "nope.npz")
+
+    def test_not_an_npz_raises_model_format_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is definitely not a zip archive")
+        with pytest.raises(ModelFormatError):
+            LanguageIdentifier.load(path)
+
+    def test_truncated_artifact_raises_model_format_error(self, artifact):
+        data = artifact.read_bytes()
+        artifact.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ModelFormatError):
+            LanguageIdentifier.load(artifact)
+
+    def test_foreign_npz_raises_model_format_error(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ModelFormatError, match="no metadata"):
+            LanguageIdentifier.load(path)
+
+    def test_wrong_format_tag(self, artifact):
+        self._rewrite_meta(artifact, lambda meta: meta.update(format="somebody-elses-model"))
+        with pytest.raises(ModelFormatError, match="format="):
+            LanguageIdentifier.load(artifact)
+
+    def test_future_version(self, artifact):
+        self._rewrite_meta(artifact, lambda meta: meta.update(version=99))
+        with pytest.raises(ModelFormatError, match="newer than supported"):
+            LanguageIdentifier.load(artifact)
+
+    def test_undecodable_metadata(self, artifact):
+        with np.load(artifact, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["meta"] = np.asarray("{not valid json")
+        np.savez(artifact, **arrays)
+        with pytest.raises(ModelFormatError, match="metadata"):
+            LanguageIdentifier.load(artifact)
+
+    def test_invalid_stored_config(self, artifact):
+        self._rewrite_meta(artifact, lambda meta: meta["config"].update(k=0))
+        with pytest.raises(ModelFormatError, match="configuration"):
+            LanguageIdentifier.load(artifact)
+
+    def test_missing_profile_arrays(self, artifact):
+        with np.load(artifact, allow_pickle=False) as archive:
+            keys = [key for key in archive.files if not key.endswith("en/ngrams")]
+            arrays = {key: archive[key] for key in keys}
+        np.savez(artifact, **arrays)
+        with pytest.raises(ModelFormatError, match="profile"):
+            LanguageIdentifier.load(artifact)
+
+    def test_model_format_error_is_a_value_error(self):
+        assert issubclass(ModelFormatError, ValueError)
+
+
+class TestStreamBatchSizeConfig:
+    def test_default_promoted_into_config(self):
+        assert ClassifierConfig().stream_batch_size == DEFAULT_STREAM_BATCH_SIZE
+
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_validated_positive(self, bad):
+        with pytest.raises(ValueError, match="stream_batch_size"):
+            ClassifierConfig(stream_batch_size=bad)
+
+    def test_round_trips_through_dict_and_artifact(self, train_corpus, tmp_path):
+        config = ClassifierConfig(m_bits=8 * 1024, t=1500, stream_batch_size=17)
+        assert ClassifierConfig.from_dict(config.to_dict()) == config
+        identifier = LanguageIdentifier(config).train(train_corpus)
+        path = identifier.save(tmp_path / "model.npz")
+        assert LanguageIdentifier.load(path).config.stream_batch_size == 17
+
+    def test_classify_stream_defaults_to_config(self, train_corpus, test_corpus):
+        config = ClassifierConfig(m_bits=8 * 1024, t=1500, stream_batch_size=3)
+        identifier = LanguageIdentifier(config).train(train_corpus)
+        texts = [doc.text for doc in test_corpus.documents[:7]]
+        streamed = list(identifier.classify_stream(iter(texts)))
+        direct = identifier.classify_batch(texts)
+        assert [r.match_counts for r in streamed] == [r.match_counts for r in direct]
+
+    def test_explicit_batch_size_still_validated(self, train_corpus):
+        config = ClassifierConfig(m_bits=8 * 1024, t=1500)
+        identifier = LanguageIdentifier(config).train(train_corpus)
+        with pytest.raises(ValueError, match="batch_size"):
+            identifier.classify_stream([], batch_size=0)

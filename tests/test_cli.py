@@ -15,7 +15,9 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("generate-corpus", "train", "classify", "evaluate", "sweep", "tables"):
+        for command in (
+            "generate-corpus", "train", "classify", "evaluate", "sweep", "tables", "serve"
+        ):
             args = {
                 "generate-corpus": ["generate-corpus", "--output", "x"],
                 "train": ["train", "--corpus", "c", "--output", "o"],
@@ -23,6 +25,7 @@ class TestParser:
                 "evaluate": ["evaluate"],
                 "sweep": ["sweep"],
                 "tables": ["tables"],
+                "serve": ["serve", "--model", "m.npz"],
             }[command]
             parsed = parser.parse_args(args)
             assert parsed.command == command
@@ -148,3 +151,108 @@ class TestEndToEndCLI:
         output = capsys.readouterr().out
         assert "Table 2" in output and "Table 3" in output
         assert "1.4 GB/s" in output or "GB/s" in output
+
+
+class TestBatchSizeFlag:
+    def test_train_persists_batch_size_in_config(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        model_path = tmp_path / "model.npz"
+        assert main(
+            [
+                "generate-corpus",
+                "--languages", "en,fr",
+                "--docs-per-language", "4",
+                "--words-per-document", "150",
+                "--seed", "3",
+                "--output", str(corpus_dir),
+            ]
+        ) == 0
+        assert main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(model_path),
+                "--profile-size", "800",
+                "--batch-size", "17",
+            ]
+        ) == 0
+        from repro.api import LanguageIdentifier
+
+        assert LanguageIdentifier.load(model_path).config.stream_batch_size == 17
+
+    def test_classify_accepts_batch_size_override(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "generate-corpus",
+                "--languages", "en,fr",
+                "--docs-per-language", "4",
+                "--words-per-document", "150",
+                "--seed", "3",
+                "--output", str(corpus_dir),
+            ]
+        )
+        main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(model_path),
+                "--profile-size", "800",
+            ]
+        )
+        files = [str(p) for p in sorted((corpus_dir / "en").glob("*.txt"))]
+        capsys.readouterr()
+        assert main(
+            ["classify", "--model", str(model_path), "--batch-size", "2", *files]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == len(files)
+        assert all(": en" in line for line in lines)
+
+    @pytest.mark.parametrize("command", ["train", "classify"])
+    def test_batch_size_must_be_positive(self, command, capsys):
+        argv = {
+            "train": ["train", "--corpus", "c", "--output", "o", "--batch-size", "0"],
+            "classify": ["classify", "--model", "m", "--batch-size", "-3", "f.txt"],
+        }[command]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "positive" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        parsed = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert parsed.command == "serve"
+        assert parsed.port == 8000
+        assert parsed.max_batch == 64
+        assert parsed.max_delay_ms == 2.0
+        assert parsed.replicas == 1
+        assert parsed.sharding == "round-robin"
+        assert parsed.cache_size == 1024
+        assert parsed.max_pending == 1024
+
+    def test_serve_overrides(self):
+        parsed = build_parser().parse_args(
+            [
+                "serve", "--model", "m.npz", "--port", "0", "--max-batch", "128",
+                "--max-delay-ms", "0.5", "--replicas", "4", "--sharding", "hash",
+                "--cache-size", "0", "--max-pending", "32",
+            ]
+        )
+        assert (parsed.max_batch, parsed.replicas, parsed.sharding) == (128, 4, "hash")
+        assert parsed.max_delay_ms == 0.5 and parsed.cache_size == 0
+
+    @pytest.mark.parametrize(
+        "flag,value", [("--max-batch", "0"), ("--replicas", "-1"), ("--max-pending", "0")]
+    )
+    def test_serve_rejects_non_positive_knobs(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "m.npz", flag, value])
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_sharding(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "m.npz", "--sharding", "nope"])
+        capsys.readouterr()

@@ -1,0 +1,442 @@
+"""Tests for the ``repro.serve`` subsystem.
+
+Covers the acceptance edge cases of the serving layer — empty documents,
+oversized requests rejected up front, backpressure rejections once the
+bounded queue fills, cache hits replaying identical results, and graceful
+shutdown draining every in-flight request — plus unit coverage of the
+micro-batcher triggers, the replica pool, the LRU cache, and the metrics.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import ClassifierConfig, LanguageIdentifier
+from repro.core.classifier import ClassificationResult
+from repro.corpus.corpus import build_jrc_acquis_like
+from repro.serve import (
+    ClassificationService,
+    MicroBatcher,
+    ReplicaPool,
+    RequestTooLargeError,
+    ResultCache,
+    ServeConfig,
+    ServiceClosedError,
+    ServiceMetrics,
+    ServiceOverloadedError,
+    clone_identifier,
+    percentile,
+    text_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    corpus = build_jrc_acquis_like(
+        ["en", "fr", "es"], docs_per_language=10, words_per_document=200, seed=11
+    )
+    config = ClassifierConfig(m_bits=8 * 1024, k=4, t=1500, seed=1)
+    return LanguageIdentifier(config).train(corpus)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ------------------------------------------------------------------- cache
+
+
+class TestResultCache:
+    def _result(self, language="en", count=3):
+        return ClassificationResult(
+            language=language, match_counts={"en": count, "fr": 1}, ngram_count=10
+        )
+
+    def test_hit_returns_equal_but_independent_result(self):
+        cache = ResultCache(4)
+        digest = text_digest("hello world")
+        cache.put(digest, self._result())
+        hit = cache.get(digest)
+        assert hit == self._result()
+        hit.match_counts["en"] = 999  # caller-side mutation must not corrupt the cache
+        assert cache.get(digest) == self._result()
+
+    def test_miss_and_stats(self):
+        cache = ResultCache(4)
+        assert cache.get(text_digest("nope")) is None
+        cache.put(text_digest("yes"), self._result())
+        assert cache.get(text_digest("yes")) is not None
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["size"]) == (1, 1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        a, b, c = (text_digest(t) for t in "abc")
+        cache.put(a, self._result("en"))
+        cache.put(b, self._result("fr"))
+        assert cache.get(a) is not None  # refresh a: b becomes LRU
+        cache.put(c, self._result("es"))
+        assert cache.get(b) is None
+        assert cache.get(a) is not None and cache.get(c) is not None
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(0)
+        digest = text_digest("x")
+        cache.put(digest, self._result())
+        assert cache.get(digest) is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_digest_distinguishes_str_and_values(self):
+        assert text_digest("abc") == text_digest(b"abc")
+        assert text_digest("abc") != text_digest("abd")
+
+
+# ------------------------------------------------------------------- metrics
+
+
+class TestServiceMetrics:
+    def test_percentile_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == 2.5
+        assert percentile([], 99) == 0.0
+        with pytest.raises(ValueError):
+            percentile(samples, 101)
+
+    def test_snapshot_and_histogram(self):
+        metrics = ServiceMetrics()
+        for size in (1, 4, 4, 8):
+            metrics.record_batch(size)
+        metrics.record_request(100)
+        metrics.record_response(0.010)
+        metrics.record_response(0.001, cached=True)
+        metrics.record_rejection("overload")
+        metrics.record_rejection("too-large")
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 1
+        assert snapshot["responses_total"] == 2
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["rejected_overload"] == 1
+        assert snapshot["rejected_too_large"] == 1
+        assert snapshot["batch_size_histogram"] == {"1": 1, "4": 2, "8": 1}
+        assert snapshot["latency_ms"]["p50"] == pytest.approx(5.5)
+        assert metrics.mean_batch_size == pytest.approx((1 + 4 + 4 + 8) / 4)
+
+    def test_render_text_exposition(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(2)
+        text = metrics.render_text()
+        assert "repro_serve_batches_total 1" in text
+        assert 'repro_serve_batch_size_total{size="2"} 1' in text
+
+
+# ------------------------------------------------------------------- batcher
+
+
+class TestMicroBatcher:
+    def test_size_trigger_flushes_full_batches(self):
+        async def scenario():
+            batches = []
+
+            async def flush(items):
+                batches.append(list(items))
+                return [item.upper() for item in items]
+
+            batcher = MicroBatcher(flush, max_batch=4, max_delay=60.0, max_pending=64)
+            batcher.start()
+            futures = [batcher.submit_nowait(c) for c in "abcdefgh"]
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return batches, results
+
+        batches, results = run(scenario())
+        assert [len(b) for b in batches] == [4, 4]
+        assert results == list("ABCDEFGH")
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        async def scenario():
+            batches = []
+
+            async def flush(items):
+                batches.append(list(items))
+                return list(items)
+
+            batcher = MicroBatcher(flush, max_batch=1000, max_delay=0.005, max_pending=64)
+            batcher.start()
+            future = batcher.submit_nowait("solo")
+            result = await asyncio.wait_for(future, timeout=2.0)
+            await batcher.close()
+            return batches, result
+
+        batches, result = run(scenario())
+        assert batches == [["solo"]] and result == "solo"
+
+    def test_overload_rejection_then_drain_on_close(self):
+        async def scenario():
+            async def flush(items):
+                return list(items)
+
+            batcher = MicroBatcher(flush, max_batch=1000, max_delay=60.0, max_pending=3)
+            batcher.start()
+            futures = [batcher.submit_nowait(i) for i in range(3)]
+            with pytest.raises(ServiceOverloadedError):
+                batcher.submit_nowait(99)
+            # close() must drain the queued work, not drop it
+            await batcher.close()
+            assert [f.result() for f in futures] == [0, 1, 2]
+            with pytest.raises(ServiceClosedError):
+                batcher.submit_nowait("late")
+
+        run(scenario())
+
+    def test_flush_failure_reaches_every_waiter(self):
+        async def scenario():
+            async def flush(items):
+                raise RuntimeError("engine on fire")
+
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=60.0, max_pending=8)
+            batcher.start()
+            futures = [batcher.submit_nowait(i) for i in range(2)]
+            with pytest.raises(RuntimeError, match="engine on fire"):
+                await asyncio.gather(*futures)
+            await batcher.close()
+
+        run(scenario())
+
+    def test_submit_before_start_rejected(self):
+        async def scenario():
+            async def flush(items):
+                return list(items)
+
+            batcher = MicroBatcher(flush)
+            with pytest.raises(ServiceClosedError):
+                batcher.submit_nowait("x")
+
+        run(scenario())
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch": 0}, {"max_delay": -1.0}, {"max_pending": 0}]
+    )
+    def test_invalid_parameters(self, kwargs):
+        async def flush(items):
+            return list(items)
+
+        with pytest.raises(ValueError):
+            MicroBatcher(flush, **kwargs)
+
+
+# ------------------------------------------------------------------- replicas
+
+
+class TestReplicaPool:
+    def test_clone_is_bit_exact_and_disjoint(self, identifier):
+        clone = clone_identifier(identifier)
+        assert clone is not identifier and clone.backend is not identifier.backend
+        text = "un texto cualquiera para comparar"
+        assert clone.classify(text).match_counts == identifier.classify(text).match_counts
+
+    def test_clone_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            clone_identifier(LanguageIdentifier(ClassifierConfig()))
+
+    def test_round_robin_cycles(self, identifier):
+        pool = ReplicaPool(identifier, 3)
+        assert [pool.next_round_robin() for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+        pool.close()
+
+    def test_hash_sharding_is_stable_and_in_range(self, identifier):
+        pool = ReplicaPool(identifier, 3)
+        digest = text_digest("always the same document")
+        shard = pool.shard_for(digest)
+        assert all(pool.shard_for(digest) == shard for _ in range(5))
+        assert 0 <= shard < 3
+        pool.close()
+
+    def test_replica_batches_match_source(self, identifier):
+        async def scenario():
+            pool = ReplicaPool(identifier, 2)
+            texts = ["le chien court vite", "the dog runs fast", "el perro corre"]
+            try:
+                for index in range(2):
+                    results = await pool.classify_batch(index, texts)
+                    direct = identifier.classify_batch(texts)
+                    assert [r.match_counts for r in results] == [
+                        r.match_counts for r in direct
+                    ]
+            finally:
+                pool.close()
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------- service
+
+
+class TestServeConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay_ms": -1},
+            {"replicas": 0},
+            {"sharding": "modulo"},
+            {"cache_size": -1},
+            {"max_pending": 0},
+            {"max_document_bytes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+
+class TestClassificationService:
+    def test_requires_trained_model(self):
+        with pytest.raises(RuntimeError):
+            ClassificationService(LanguageIdentifier(ClassifierConfig()))
+
+    def test_classify_before_start_rejected(self, identifier):
+        async def scenario():
+            service = ClassificationService(identifier)
+            with pytest.raises(ServiceClosedError):
+                await service.classify("hola")
+
+        run(scenario())
+
+    def test_empty_document_classifies_without_error(self, identifier):
+        async def scenario():
+            async with ClassificationService(identifier) as service:
+                result = await service.classify("")
+                assert result.ngram_count == 0
+                assert result.language in identifier.languages
+                assert all(count == 0 for count in result.match_counts.values())
+
+        run(scenario())
+
+    def test_results_match_direct_classification(self, identifier):
+        async def scenario():
+            config = ServeConfig(max_batch=4, max_delay_ms=1.0, replicas=2, cache_size=0)
+            texts = [f"document numero {i} avec un peu de texte" for i in range(10)]
+            async with ClassificationService(identifier, config) as service:
+                served = await service.classify_many(texts)
+            direct = identifier.classify_batch(texts)
+            assert [r.match_counts for r in served] == [r.match_counts for r in direct]
+            assert [r.language for r in served] == [r.language for r in direct]
+
+        run(scenario())
+
+    def test_oversized_request_rejected(self, identifier):
+        async def scenario():
+            config = ServeConfig(max_document_bytes=64)
+            async with ClassificationService(identifier, config) as service:
+                with pytest.raises(RequestTooLargeError):
+                    await service.classify("x" * 65)
+                # a multi-byte character pushes the UTF-8 size over the limit
+                with pytest.raises(RequestTooLargeError):
+                    await service.classify("é" * 33)
+                assert service.metrics.rejected_too_large == 2
+                assert (await service.classify("x" * 64)).language  # at the limit: fine
+
+        run(scenario())
+
+    def test_backpressure_rejects_when_queue_full(self, identifier):
+        async def scenario():
+            # Batches larger than the backlog + a long deadline pin the queue full.
+            config = ServeConfig(
+                max_batch=512, max_delay_ms=10_000.0, max_pending=4, cache_size=0
+            )
+            service = ClassificationService(identifier, config)
+            await service.start()
+            waiters = [
+                asyncio.ensure_future(service.classify(f"pending document {i}"))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let the submissions reach the queue
+            with pytest.raises(ServiceOverloadedError):
+                await service.classify("one document too many")
+            assert service.metrics.rejected_overload == 1
+            # graceful close must still drain the four queued requests
+            await service.close()
+            results = await asyncio.gather(*waiters)
+            assert all(r.language in identifier.languages for r in results)
+
+        run(scenario())
+
+    def test_cache_hit_returns_identical_result(self, identifier):
+        async def scenario():
+            text = "ceci est un document parfaitement identique"
+            async with ClassificationService(identifier) as service:
+                first = await service.classify(text)
+                second = await service.classify(text)
+                assert second == first
+                assert service.metrics.cache_hits == 1
+                assert service.cache.stats()["hits"] == 1
+                # only one batch ever reached the engine
+                assert sum(service.metrics.batch_sizes.values()) == 1
+
+        run(scenario())
+
+    def test_graceful_shutdown_drains_in_flight_batches(self, identifier):
+        async def scenario():
+            config = ServeConfig(max_batch=64, max_delay_ms=10_000.0, cache_size=0)
+            service = ClassificationService(identifier, config)
+            await service.start()
+            waiters = [
+                asyncio.ensure_future(service.classify(f"document en vol numero {i}"))
+                for i in range(8)
+            ]
+            await asyncio.sleep(0)
+            # nothing has flushed yet (deadline far away, batch not full) ...
+            assert service.metrics.batches_total == 0
+            await service.close()
+            # ... yet close() resolved every request instead of dropping it
+            results = await asyncio.gather(*waiters)
+            assert len(results) == 8
+            assert service.metrics.responses_total == 8
+            with pytest.raises(ServiceClosedError):
+                await service.classify("after close")
+
+        run(scenario())
+
+    def test_hash_sharding_routes_duplicates_to_one_replica(self, identifier):
+        async def scenario():
+            config = ServeConfig(
+                max_batch=2, max_delay_ms=1.0, replicas=3, sharding="hash", cache_size=0
+            )
+            async with ClassificationService(identifier, config) as service:
+                shard = service._pool.shard_for(text_digest("same text"))
+                for _ in range(4):
+                    await service.classify("same text")
+                assert service._pool.shard_for(text_digest("same text")) == shard
+                pending = service.describe()["pending"]
+                assert len(pending) == 3
+
+        run(scenario())
+
+    def test_describe_reports_topology(self, identifier):
+        async def scenario():
+            config = ServeConfig(replicas=2, max_batch=16)
+            async with ClassificationService(identifier, config) as service:
+                info = service.describe()
+                assert info["status"] == "ok"
+                assert info["replicas"] == 2
+                assert info["max_batch"] == 16
+                assert info["languages"] == identifier.languages
+            assert service.describe()["status"] == "stopped"
+
+        run(scenario())
+
+    def test_service_loads_model_from_path(self, identifier, tmp_path):
+        async def scenario():
+            path = identifier.save(tmp_path / "model.npz")
+            async with ClassificationService(path) as service:
+                result = await service.classify("un document para el servicio")
+            assert result.match_counts == identifier.classify(
+                "un document para el servicio"
+            ).match_counts
+
+        run(scenario())

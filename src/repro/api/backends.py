@@ -159,10 +159,77 @@ class BloomBackend(Backend):
                 payload, hashes=self.classifier.hashes
             )
 
+    # -- zero-copy sharing ---------------------------------------------------
+
+    def export_shared_state(self) -> dict[str, np.ndarray]:
+        """The flat/shared-memory layout: unpacked stacked bit-vectors.
+
+        ``stacked_bits`` is the hot-path ``(k, languages, m_bits)`` matrix
+        (one byte per bit) that :meth:`match_counts_batch` gathers from, in
+        training-language order; ``n_items`` carries each language's
+        programmed-key count.  Stored unpacked (8x the packed ``.npz`` size)
+        precisely so a read-only mmap/shared-memory buffer can back the live
+        filters with zero copies.
+        """
+        self._check_trained()
+        stacked = self._stacked_bit_vectors()
+        return {
+            "stacked_bits": np.ascontiguousarray(stacked).view(np.uint8),
+            "n_items": np.asarray(
+                [filt.n_items for filt in self.classifier.filters.values()], dtype=np.int64
+            ),
+        }
+
+    def import_shared_state(
+        self, profiles: Mapping[str, LanguageProfile], state: Mapping[str, np.ndarray]
+    ) -> None:
+        """Adopt :meth:`export_shared_state` arrays as live filter state, zero-copy.
+
+        The stacked matrix becomes *the* batch-path gather target and each
+        language's filter a ``(k, m_bits)`` view into it, so when the arrays
+        are buffer-backed (mmap / shared memory) this backend owns no bit
+        storage of its own — every replica process reads one physical copy.
+        Incomplete or mismatched state falls back to a deterministic rebuild
+        from the profiles, exactly like :meth:`import_state`.
+        """
+        stacked = state.get("stacked_bits")
+        n_items = state.get("n_items")
+        expected_shape = (self.config.k, len(profiles), self.config.m_bits)
+        if (
+            stacked is None
+            or n_items is None
+            or np.asarray(stacked).shape != expected_shape
+            or np.asarray(stacked).dtype not in (np.dtype(bool), np.dtype(np.uint8))
+            or np.asarray(n_items).shape != (len(profiles),)
+        ):
+            self.fit_profiles(profiles)
+            return
+        stacked = np.asarray(stacked)
+        bits = stacked if stacked.dtype == np.dtype(bool) else stacked.view(bool)
+        n_items = np.asarray(n_items, dtype=np.int64)
+        self.profiles = self.classifier.profiles = dict(profiles)
+        self._stacked_bits = bits
+        self.classifier.filters = {}
+        for index, language in enumerate(profiles):
+            payload = {
+                "kind": "parallel",
+                "m_bits": self.config.m_bits,
+                "k": self.config.k,
+                "key_bits": self.config.key_bits,
+                "bits": bits[:, index, :],
+                "n_items": int(n_items[index]),
+            }
+            self.classifier.filters[language] = ParallelBloomFilter.from_arrays(
+                payload, hashes=self.classifier.hashes, copy=False
+            )
+
     def describe(self) -> dict:
         info = super().describe()
         info["memory_bits_per_language"] = self.classifier.memory_bits_per_language
         info["expected_fpr"] = self.classifier.expected_fpr() if self.profiles else None
+        info["shared_bit_vectors"] = (
+            self._stacked_bits is not None and not self._stacked_bits.flags.writeable
+        )
         return info
 
 

@@ -181,18 +181,24 @@ class LanguageIdentifier:
 
     # ------------------------------------------------------------ persistence
 
-    def save(self, path: str | Path) -> Path:
-        """Write a versioned model artifact (config + profiles + backend state)."""
+    def save(self, path: str | Path, format: str = "npz") -> Path:
+        """Write a versioned model artifact (config + profiles + backend state).
+
+        ``format="npz"`` writes the compressed archive; ``format="flat"``
+        writes the page-aligned ``model.bin`` container that :meth:`load`
+        memory-maps zero-copy (the layout shared-memory replicas use).
+        """
         from repro.api.persistence import save_model
 
-        return save_model(self, path)
+        return save_model(self, path, format=format)
 
     @classmethod
     def load(cls, path: str | Path, backend: str | None = None) -> "LanguageIdentifier":
-        """Load a model artifact written by :meth:`save`.
+        """Load a model artifact written by :meth:`save` (either container).
 
-        ``backend`` optionally overrides the stored backend name: the model's
-        profiles are re-programmed into the requested engine (persisted
+        The container is sniffed from the file's bytes.  ``backend``
+        optionally overrides the stored backend name: the model's profiles
+        are re-programmed into the requested engine (persisted
         engine-specific state is only reused when the backend matches).
         """
         from repro.api.persistence import load_model

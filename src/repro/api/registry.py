@@ -130,6 +130,29 @@ class Backend(abc.ABC):
         """
         self.fit_profiles(profiles)
 
+    # ------------------------------------------------------------ zero-copy hooks
+
+    def export_shared_state(self) -> dict[str, np.ndarray]:
+        """Arrays for the flat/shared-memory artifact layout.
+
+        Backends whose hot-path structures can be rebuilt as *views* over a
+        read-only buffer override this pair to export a directly-mappable
+        layout (the ``bloom`` backend's unpacked stacked bit-vectors); the
+        default reuses the ordinary :meth:`export_state` arrays.
+        """
+        return self.export_state()
+
+    def import_shared_state(
+        self, profiles: Mapping[str, LanguageProfile], state: Mapping[str, np.ndarray]
+    ) -> None:
+        """Restore from :meth:`export_shared_state` arrays, adopting views zero-copy.
+
+        ``state`` arrays may be read-only views over an ``np.memmap`` or a
+        ``multiprocessing.shared_memory`` buffer; overriding backends must not
+        copy or mutate them.  The default delegates to :meth:`import_state`.
+        """
+        self.import_state(profiles, state)
+
     # ------------------------------------------------------------ introspection
 
     def describe(self) -> dict:

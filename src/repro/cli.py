@@ -140,12 +140,13 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = _read_corpus(Path(args.corpus))
     identifier = LanguageIdentifier(_config_from_args(args)).train(corpus)
-    path = identifier.save(Path(args.output))
+    path = identifier.save(Path(args.output), format=args.format)
     config = identifier.config
     print(
         f"trained {len(identifier.languages)} languages "
         f"(backend={config.backend}, n={config.n}, t={config.t}, "
-        f"m={config.m_kbits} Kbits, k={config.k}); model saved to {path}"
+        f"m={config.m_kbits} Kbits, k={config.k}); model saved to {path} "
+        f"({args.format} container)"
     )
     return 0
 
@@ -282,6 +283,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
             replicas=args.replicas,
+            executor=args.executor,
             sharding=args.sharding,
             cache_size=args.cache_size,
             max_pending=args.max_pending,
@@ -295,7 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"serving {len(service.languages)} languages on http://{bound[0]}:{bound[1]} "
                 f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms} ms, "
-                f"replicas={args.replicas}, sharding={args.sharding})"
+                f"replicas={args.replicas} x {args.executor}, sharding={args.sharding})"
             )
             try:
                 async with server:
@@ -364,7 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a model from a corpus directory and save it")
     train.add_argument("--corpus", required=True)
-    train.add_argument("--output", required=True, help="model artifact path (.npz)")
+    train.add_argument("--output", required=True, help="model artifact path (.npz or .bin)")
+    train.add_argument(
+        "--format", choices=("npz", "flat"), default="npz",
+        help="artifact container: compressed .npz, or flat page-aligned .bin that "
+        "classify/serve can memmap zero-copy (default: npz)",
+    )
     train.add_argument("--ngram", type=int, default=4)
     train.add_argument("--hash-family", choices=KNOWN_HASH_FAMILIES, default="h3")
     train.add_argument("--subsample-stride", type=int, default=1)
@@ -420,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replicas", type=_positive_int, default=1,
         help="independent model replicas classifying concurrently",
+    )
+    serve.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="replica execution tier: 'thread' (in-process, GIL-bound) or 'process' "
+        "(worker processes sharing one shared-memory model copy; true multi-core)",
     )
     serve.add_argument(
         "--sharding", choices=("round-robin", "hash"), default="round-robin",

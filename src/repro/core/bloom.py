@@ -207,13 +207,27 @@ class ParallelBloomFilter(_BloomBase):
         """Copy of the ``(k, m_bits)`` boolean matrix of bit-vectors."""
         return self._bits.copy()
 
+    @property
+    def is_read_only(self) -> bool:
+        """True when the bit-vectors are a read-only view (shared-memory / mmap clone)."""
+        return not self._bits.flags.writeable
+
+    def _check_writable(self) -> None:
+        if self.is_read_only:
+            raise RuntimeError(
+                "this filter's bit-vectors are a read-only shared/mmap-backed view; "
+                "rebuild it with from_arrays(..., copy=True) before mutating"
+            )
+
     def clear(self) -> None:
         """Reset all bit-vectors to zero (the paper's preprocessing step)."""
+        self._check_writable()
         self._bits[:] = False
         self.n_items = 0
 
     def add_many(self, keys: np.ndarray) -> None:
         """Program an array of keys: set ``H_i(key)`` in vector ``i`` for every hash."""
+        self._check_writable()
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return
@@ -306,12 +320,22 @@ class ParallelBloomFilter(_BloomBase):
         payload: dict,
         hashes: HashFamily | None = None,
         seed: int = 0,
+        copy: bool = True,
     ) -> "ParallelBloomFilter":
         """Rebuild a filter from :meth:`to_arrays` output (model persistence).
 
         The hash family is not part of the payload; pass the same ``hashes`` (or
         ``seed``) the filter was built with so that lookups address the restored
         bit-vectors identically.
+
+        ``payload["bits"]`` may be either the packed ``(k, m_bits/8)`` uint8
+        matrix written by :meth:`to_arrays` or an already-unpacked
+        ``(k, m_bits)`` bool/uint8 matrix (the flat/shared-memory artifact
+        layout).  With ``copy=False`` an unpacked matrix is adopted as-is — no
+        bytes are copied, so N processes can point their filters at one
+        physical buffer (``multiprocessing.shared_memory`` or an ``np.memmap``)
+        and share a single copy of the bit-vectors.  Zero-copy filters are
+        read-only: :meth:`add_many` / :meth:`clear` refuse to run on them.
         """
         if payload.get("kind") != "parallel":
             raise ValueError(f"payload is not a parallel Bloom filter: {payload.get('kind')!r}")
@@ -322,8 +346,21 @@ class ParallelBloomFilter(_BloomBase):
             hashes=hashes,
             seed=seed,
         )
-        bits = np.unpackbits(np.asarray(payload["bits"], dtype=np.uint8), axis=1)
-        filt._bits = bits[:, : filt.m_bits].astype(bool)
+        raw = np.asarray(payload["bits"])
+        if raw.ndim != 2 or raw.shape[0] != filt.k:
+            raise ValueError(
+                f"bits must have shape (k={filt.k}, m_bits) unpacked or "
+                f"(k, m_bits/8) packed; got {raw.shape}"
+            )
+        if raw.shape[1] == filt.m_bits and raw.dtype in (np.dtype(bool), np.dtype(np.uint8)):
+            # Unpacked layout: one byte per bit, directly addressable.
+            if copy:
+                filt._bits = raw.astype(bool)
+            else:
+                filt._bits = raw if raw.dtype == np.dtype(bool) else raw.view(bool)
+        else:
+            bits = np.unpackbits(raw.astype(np.uint8, copy=False), axis=1)
+            filt._bits = bits[:, : filt.m_bits].astype(bool)
         filt.n_items = int(payload["n_items"])
         return filt
 

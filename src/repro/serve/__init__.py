@@ -8,16 +8,20 @@ subsystem applies the same architecture to the software engine:
 :class:`~repro.serve.batcher.MicroBatcher`
     Bounded request queue flushed by size (``max_batch``) or deadline
     (``max_delay_ms``) into the vectorized ``classify_batch`` path.
-:class:`~repro.serve.replicas.ReplicaPool`
+:class:`~repro.serve.replicas.ThreadReplicaPool`
     N bit-exact model replicas, each with a dedicated worker thread;
-    round-robin or digest-hash sharding.
+    round-robin or digest-hash sharding (GIL-bound for CPU-heavy batches).
+:class:`~repro.serve.process_pool.ProcessReplicaPool`
+    N worker *processes* reading one
+    :class:`~repro.serve.shared_model.SharedModel` shared-memory copy of the
+    model — true multi-core scaling with crash detection and respawn.
 :class:`~repro.serve.cache.ResultCache`
-    LRU result cache keyed on a BLAKE2b digest of the document.
+    LRU result cache keyed on (model fingerprint, document digest).
 :class:`~repro.serve.metrics.ServiceMetrics`
     Request counters, batch-size histogram, p50/p95/p99 latency, MB/s.
 :class:`~repro.serve.service.ClassificationService`
     The programmatic API tying the above together with explicit backpressure
-    and graceful draining shutdown.
+    and graceful draining shutdown (``executor="thread"|"process"``).
 :func:`~repro.serve.http.serve_http`
     Stdlib-only JSON/HTTP front-end (``POST /classify``, ``GET /healthz``,
     ``GET /metrics``); also exposed as ``python -m repro serve``.
@@ -26,32 +30,47 @@ subsystem applies the same architecture to the software engine:
 from __future__ import annotations
 
 from repro.serve.batcher import MicroBatcher
-from repro.serve.cache import ResultCache, text_digest
+from repro.serve.cache import ResultCache, model_fingerprint, text_digest
 from repro.serve.errors import (
     RequestTooLargeError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
+    WorkerCrashedError,
 )
 from repro.serve.http import result_to_json, serve_http
 from repro.serve.metrics import ServiceMetrics, percentile
-from repro.serve.replicas import ReplicaPool, clone_identifier
-from repro.serve.service import ClassificationService, ServeConfig
+from repro.serve.process_pool import ProcessReplicaPool
+from repro.serve.replicas import (
+    ReplicaPool,
+    ReplicaPoolBase,
+    ThreadReplicaPool,
+    clone_identifier,
+)
+from repro.serve.service import EXECUTORS, ClassificationService, ServeConfig
+from repro.serve.shared_model import SharedModel
 
 __all__ = [
     "MicroBatcher",
     "ResultCache",
     "text_digest",
+    "model_fingerprint",
     "ServeError",
     "ServiceOverloadedError",
     "ServiceClosedError",
     "RequestTooLargeError",
+    "WorkerCrashedError",
     "ServiceMetrics",
     "percentile",
     "ReplicaPool",
+    "ReplicaPoolBase",
+    "ThreadReplicaPool",
+    "ProcessReplicaPool",
+    "SharedModel",
     "clone_identifier",
     "ClassificationService",
     "ServeConfig",
+    "EXECUTORS",
     "serve_http",
     "result_to_json",
 ]

@@ -5,23 +5,52 @@ pages), and a Bloom-filter classifier is deterministic, so a result computed
 once can be replayed for every identical submission.  The cache key is a
 128-bit BLAKE2b digest of the raw document bytes — collision probability is
 negligible and hashing is far cheaper than re-classifying.
+
+A result is only replayable for the *model that produced it*, so the service
+prefixes every key with :func:`model_fingerprint` — a digest of the full
+configuration plus the trained profiles.  A cache handed to a service that was
+restarted with a different (or retrained) model can therefore never replay
+stale results: the fingerprints differ, every lookup misses, and the entries
+age out of the LRU naturally.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
+
+import numpy as np
 
 from repro.core.classifier import ClassificationResult
 
-__all__ = ["ResultCache", "text_digest"]
+__all__ = ["ResultCache", "text_digest", "model_fingerprint"]
 
 
 def text_digest(text: str | bytes) -> bytes:
     """128-bit BLAKE2b digest of a document (strings hashed as UTF-8)."""
-    import hashlib
-
     data = text.encode("utf-8", "surrogatepass") if isinstance(text, str) else bytes(text)
     return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def model_fingerprint(identifier) -> bytes:
+    """128-bit digest identifying a trained model's exact behaviour.
+
+    Covers the full :class:`~repro.api.config.ClassifierConfig` (n-gram order,
+    Bloom geometry, hash family, seed, backend, ...) and every language's
+    profile arrays in training order.  Backends are deterministic functions of
+    ``(config, profiles)``, so two identifiers with equal fingerprints return
+    identical results for every document — the precondition for sharing cached
+    results between them.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(identifier.config.to_dict(), sort_keys=True).encode("utf-8"))
+    for language in identifier.languages:
+        profile = identifier.profiles[language]
+        digest.update(language.encode("utf-8", "surrogatepass"))
+        digest.update(np.ascontiguousarray(profile.ngrams).tobytes())
+        digest.update(np.ascontiguousarray(profile.counts).tobytes())
+    return digest.digest()
 
 
 class ResultCache:

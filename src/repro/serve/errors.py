@@ -13,6 +13,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "RequestTooLargeError",
+    "WorkerCrashedError",
 ]
 
 
@@ -34,3 +35,12 @@ class ServiceClosedError(ServeError):
 
 class RequestTooLargeError(ServeError):
     """A single document exceeds ``ServeConfig.max_document_bytes``."""
+
+
+class WorkerCrashedError(ServeError):
+    """A replica worker process died with a batch in flight.
+
+    The :class:`~repro.serve.process_pool.ProcessReplicaPool` respawns the
+    worker immediately, so retrying the request is safe; only the batch that
+    was on the dead worker observes this error.
+    """

@@ -54,6 +54,7 @@ class ServiceMetrics:
         self.rejected_too_large = 0
         self.errors_total = 0
         self.batches_total = 0
+        self.worker_respawns_total = 0
         self.bytes_total = 0
         self.batch_sizes: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=reservoir_size)
@@ -83,6 +84,10 @@ class ServiceMetrics:
     def record_batch(self, size: int) -> None:
         self.batches_total += 1
         self.batch_sizes[int(size)] += 1
+
+    def record_worker_respawn(self) -> None:
+        """Count one crashed-and-replaced replica worker process."""
+        self.worker_respawns_total += 1
 
     # ------------------------------------------------------------ derived
 
@@ -123,6 +128,7 @@ class ServiceMetrics:
             "rejected_too_large": self.rejected_too_large,
             "errors_total": self.errors_total,
             "batches_total": self.batches_total,
+            "worker_respawns_total": self.worker_respawns_total,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {
                 str(size): count for size, count in self.batch_size_histogram().items()
@@ -146,6 +152,7 @@ class ServiceMetrics:
             "rejected_too_large",
             "errors_total",
             "batches_total",
+            "worker_respawns_total",
             "mean_batch_size",
             "bytes_total",
             "throughput_mb_s",

@@ -1,0 +1,287 @@
+"""Process-based replica pool: true multi-core serving over one shared model.
+
+:class:`~repro.serve.replicas.ThreadReplicaPool` fakes the paper's parallel
+engines with Python threads, so CPU-bound ``match_counts`` work serialises on
+the GIL.  This module provides the real thing: N worker *processes*, each
+running the vectorized batch path against read-only views of a single
+:class:`~repro.serve.shared_model.SharedModel` segment — one physical copy of
+the profiles and bit-vectors, N cores reading it concurrently, exactly the
+shared-read-only-state shape of the paper's hardware (many Bloom engines, one
+programmed model).
+
+Topology per worker:
+
+* a ``spawn``-context :class:`multiprocessing.Process` running
+  :func:`_worker_main` (spawn keeps workers free of inherited locks/threads,
+  so a crashing or forking parent cannot wedge them);
+* a duplex :class:`multiprocessing.Pipe` carrying ``("classify", texts)`` /
+  ``("ok", results)`` frames — documents cross the pipe, the model never does;
+* a single-thread dispatcher executor that performs the blocking pipe
+  round-trip off the event loop, preserving the one-in-flight-batch-per-replica
+  discipline of the thread tier.
+
+Crash handling: the dispatcher waits on the pipe *and* the process sentinel,
+so a worker dying mid-batch is detected immediately, reported to the caller as
+:class:`~repro.serve.errors.WorkerCrashedError`, and the worker is respawned
+before the next batch — the pool self-heals.  ``close()`` stops every worker,
+joins it (escalating to ``terminate`` after a timeout), and unlinks the
+shared segment; a finalizer on the segment covers even an abandoned pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import multiprocessing
+from multiprocessing import connection
+
+from repro.api.identifier import LanguageIdentifier
+from repro.core.classifier import ClassificationResult
+from repro.serve.errors import WorkerCrashedError
+from repro.serve.replicas import ReplicaPoolBase
+from repro.serve.shared_model import SharedModel
+
+__all__ = ["ProcessReplicaPool"]
+
+#: seconds a worker gets to import NumPy + attach the segment before the pool
+#: declares it dead (spawn start-up is ~1 s; CI runners can be much slower)
+READY_TIMEOUT = 120.0
+#: seconds a worker gets to exit after a stop frame before being terminated
+STOP_TIMEOUT = 10.0
+
+
+def _worker_main(conn, segment_name: str, backend: str | None) -> None:
+    """Worker process entry point: attach, acknowledge, serve, detach."""
+    shared = SharedModel.attach(segment_name)
+    identifier = None
+    try:
+        identifier = shared.identifier(backend=backend)
+        conn.send(("ready", identifier.languages))
+        while True:
+            try:
+                frame = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away: exit quietly
+            kind, payload = frame
+            if kind == "stop":
+                break
+            if kind != "classify":  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown frame kind {kind!r}"))
+                continue
+            try:
+                results = identifier.classify_batch(payload)
+                conn.send(("ok", results))
+            except Exception as exc:  # noqa: BLE001 - must cross the pipe
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+        # Release the zero-copy views before dropping the mapping so the
+        # segment closes cleanly instead of tripping over exported buffers.
+        identifier = None  # noqa: F841 - drops the buffer views
+        gc.collect()
+        shared.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one replica process."""
+
+    index: int
+    process: multiprocessing.Process
+    conn: connection.Connection
+    ready: bool = field(default=False)
+
+
+class ProcessReplicaPool(ReplicaPoolBase):
+    """``n_replicas`` worker processes sharing one in-memory model copy.
+
+    Parameters
+    ----------
+    identifier:
+        The trained model; serialised once into a shared-memory segment.
+    n_replicas:
+        Worker process count.  Scaling past the machine's core count buys
+        nothing — the sweet spot is ``min(replicas, cores)``.
+    on_respawn:
+        Optional zero-argument callback invoked every time a crashed worker
+        is replaced (the service wires its metrics counter in here).
+    """
+
+    executor_kind = "process"
+
+    def __init__(
+        self,
+        identifier: LanguageIdentifier,
+        n_replicas: int = 1,
+        on_respawn: Callable[[], None] | None = None,
+    ):
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        if not identifier.is_trained:
+            raise RuntimeError("cannot replicate an untrained identifier")
+        self._n_replicas = n_replicas
+        self._languages = identifier.languages
+        self._backend = identifier.config.backend
+        self._on_respawn = on_respawn
+        self._rr_next = 0
+        self._closed = False
+        # Serialises respawn decisions against close(): a dispatcher that
+        # detects a crash mid-batch must never spawn a replacement worker
+        # after shutdown has started stopping/joining the fleet.
+        self._lifecycle = threading.Lock()
+        self.respawns_total = 0
+        self._shared = SharedModel.create(identifier)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers = [self._spawn(index) for index in range(n_replicas)]
+        self._dispatchers = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-serve-dispatch-{i}")
+            for i in range(n_replicas)
+        ]
+
+    # ------------------------------------------------------------ workers
+
+    @property
+    def shared_segment_name(self) -> str:
+        """Name of the shared-memory segment every worker maps."""
+        return self._shared.name
+
+    def _spawn(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._shared.name, self._backend),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        return _Worker(index=index, process=process, conn=parent_conn)
+
+    def _respawn(self, index: int) -> None:
+        worker = self._workers[index]
+        worker.conn.close()
+        if worker.process.is_alive():  # pragma: no cover - half-dead worker
+            worker.process.terminate()
+        worker.process.join(timeout=STOP_TIMEOUT)
+        self._workers[index] = self._spawn(index)
+        self.respawns_total += 1
+        if self._on_respawn is not None:
+            self._on_respawn()
+
+    def _recv(self, worker: _Worker, timeout: float | None = None):
+        """Blocking receive that notices the worker dying mid-wait."""
+        ready = connection.wait([worker.conn, worker.process.sentinel], timeout)
+        if worker.conn in ready:
+            try:
+                return worker.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashedError(
+                    f"replica worker {worker.index} closed its pipe mid-batch"
+                ) from exc
+        if not ready:
+            raise WorkerCrashedError(
+                f"replica worker {worker.index} did not answer within {timeout} s"
+            )
+        raise WorkerCrashedError(
+            f"replica worker {worker.index} died (exit code {worker.process.exitcode})"
+        )
+
+    def _ensure_ready(self, worker: _Worker) -> None:
+        if worker.ready:
+            return
+        kind, payload = self._recv(worker, timeout=READY_TIMEOUT)
+        if kind != "ready":  # pragma: no cover - protocol guard
+            raise WorkerCrashedError(
+                f"replica worker {worker.index} sent {kind!r} before its ready frame"
+            )
+        if list(payload) != list(self._languages):  # pragma: no cover - sanity guard
+            raise WorkerCrashedError(
+                f"replica worker {worker.index} rebuilt different languages {payload!r}"
+            )
+        worker.ready = True
+
+    def _call(self, index: int, texts: list) -> list[ClassificationResult]:
+        """One blocking request/response round-trip (runs on a dispatcher thread)."""
+        worker = self._workers[index]
+        try:
+            self._ensure_ready(worker)
+            try:
+                worker.conn.send(("classify", texts))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashedError(
+                    f"replica worker {index} pipe is broken (worker died?)"
+                ) from exc
+            kind, payload = self._recv(worker)
+        except WorkerCrashedError:
+            with self._lifecycle:
+                if not self._closed:
+                    self._respawn(index)
+            raise
+        if kind == "error":
+            raise RuntimeError(f"replica worker {index} failed to classify: {payload}")
+        return payload
+
+    # ------------------------------------------------------------ classification
+
+    async def classify_batch(
+        self, replica_index: int, texts: Sequence[str | bytes]
+    ) -> list[ClassificationResult]:
+        """Run one worker's vectorized batch path off the event loop."""
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._dispatchers[replica_index], self._call, replica_index, list(texts)
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Stop the workers, join them, and unlink the shared segment.
+
+        Shutdown is *bounded*: workers are stopped (escalating to
+        ``terminate`` after :data:`STOP_TIMEOUT`) before the dispatcher
+        threads are joined, so a dispatcher blocked on a hung worker's pipe
+        observes the death sentinel and fails its in-flight batch with
+        :class:`WorkerCrashedError` instead of wedging ``close()`` forever.
+        The service drains its micro-batchers before calling this, so in the
+        graceful path no batch is in flight by the time workers are stopped.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            # Under the lock: no respawn can start once _closed is set, and
+            # the worker list below cannot change under us.
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass  # already dead; join below reaps it
+        for worker in self._workers:
+            worker.process.join(timeout=STOP_TIMEOUT)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.terminate()
+                worker.process.join(timeout=STOP_TIMEOUT)
+        # Every worker is now dead, so any dispatcher blocked mid-round-trip
+        # has been released by the sentinel; joining them is bounded.
+        for dispatcher in self._dispatchers:
+            dispatcher.shutdown(wait=True)
+        for worker in self._workers:
+            worker.conn.close()
+        self._shared.unlink()
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["executor"] = self.executor_kind
+        info["backend"] = self._backend
+        info["shared_segment"] = self._shared.name
+        info["shared_bytes"] = self._shared.size
+        info["respawns_total"] = self.respawns_total
+        return info

@@ -1,15 +1,21 @@
-"""Replica pool: N independent model copies, each with its own worker thread.
+"""Replica pools: N engine replicas classifying batches concurrently.
 
 The paper scales by instantiating one classifier pipeline per language and
 streaming every document past all of them; the serving layer scales the other
 axis — several complete engine replicas so independent batches classify
-concurrently.  Each replica is a bit-exact clone of the source
-:class:`~repro.api.identifier.LanguageIdentifier` (cloned through the
-backend's ``export_state``/``import_state`` fast path when available) paired
-with a dedicated single-thread executor, so no mutable state is ever shared
-between event-loop workers and NumPy kernels overlap across OS threads.
+concurrently.  Two execution tiers implement one contract
+(:class:`ReplicaPoolBase`):
 
-Two dispatch disciplines are offered:
+:class:`ThreadReplicaPool`
+    N bit-exact in-process model clones, one worker thread each.  Cheap to
+    start and share nothing mutable, but CPU-bound NumPy work from different
+    replicas contends on the GIL, so throughput tops out near one core.
+:class:`~repro.serve.process_pool.ProcessReplicaPool`
+    N worker *processes* reading one shared-memory model copy
+    (:class:`~repro.serve.shared_model.SharedModel`) — true multi-core
+    scaling, the software analogue of the paper's many parallel Bloom engines.
+
+Two dispatch disciplines are offered by both tiers:
 
 ``round-robin``
     Strict rotation — even load, best for uniform traffic.
@@ -28,7 +34,13 @@ from collections.abc import Sequence
 from repro.api.identifier import LanguageIdentifier
 from repro.core.classifier import ClassificationResult
 
-__all__ = ["ReplicaPool", "clone_identifier", "SHARDING_DISCIPLINES"]
+__all__ = [
+    "ReplicaPoolBase",
+    "ThreadReplicaPool",
+    "ReplicaPool",
+    "clone_identifier",
+    "SHARDING_DISCIPLINES",
+]
 
 SHARDING_DISCIPLINES = ("round-robin", "hash")
 
@@ -52,8 +64,59 @@ def clone_identifier(identifier: LanguageIdentifier) -> LanguageIdentifier:
     return clone
 
 
-class ReplicaPool:
+class ReplicaPoolBase:
+    """The contract every replica pool honours.
+
+    A pool exposes ``n_replicas`` bit-exact engine replicas behind integer
+    indices: :meth:`next_round_robin` / :meth:`shard_for` pick an index,
+    :meth:`classify_batch` runs one replica's vectorized batch path without
+    blocking the event loop, and :meth:`close` releases every execution
+    resource (threads, processes, shared-memory segments).  Subclasses set
+    ``_n_replicas`` and ``_languages`` and implement ``classify_batch`` /
+    ``close``.
+    """
+
+    _n_replicas: int = 0
+    _languages: list[str]
+
+    def __len__(self) -> int:
+        return self._n_replicas
+
+    @property
+    def languages(self) -> list[str]:
+        return self._languages
+
+    # ------------------------------------------------------------ dispatch
+
+    def next_round_robin(self) -> int:
+        """The next replica index under strict rotation."""
+        index = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self._n_replicas
+        return index
+
+    def shard_for(self, digest: bytes) -> int:
+        """The replica a digest shards onto (stable across calls)."""
+        return int.from_bytes(digest[:8], "little") % self._n_replicas
+
+    # ------------------------------------------------------------ contract
+
+    async def classify_batch(
+        self, replica_index: int, texts: Sequence[str | bytes]
+    ) -> list[ClassificationResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every execution resource (may block; idempotent)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"replicas": self._n_replicas, "languages": self.languages}
+
+
+class ThreadReplicaPool(ReplicaPoolBase):
     """``n_replicas`` identifier clones with one single-thread executor each."""
+
+    executor_kind = "thread"
 
     def __init__(self, identifier: LanguageIdentifier, n_replicas: int = 1):
         if n_replicas <= 0:
@@ -61,31 +124,14 @@ class ReplicaPool:
         # Replica 0 reuses the caller's identifier; further replicas are clones.
         self.replicas: list[LanguageIdentifier] = [identifier]
         self.replicas += [clone_identifier(identifier) for _ in range(n_replicas - 1)]
+        self._n_replicas = n_replicas
+        self._languages = identifier.languages
         self._executors = [
             ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-serve-replica-{i}")
             for i in range(n_replicas)
         ]
         self._rr_next = 0
         self._closed = False
-
-    def __len__(self) -> int:
-        return len(self.replicas)
-
-    @property
-    def languages(self) -> list[str]:
-        return self.replicas[0].languages
-
-    # ------------------------------------------------------------ dispatch
-
-    def next_round_robin(self) -> int:
-        """The next replica index under strict rotation."""
-        index = self._rr_next
-        self._rr_next = (self._rr_next + 1) % len(self.replicas)
-        return index
-
-    def shard_for(self, digest: bytes) -> int:
-        """The replica a digest shards onto (stable across calls)."""
-        return int.from_bytes(digest[:8], "little") % len(self.replicas)
 
     # ------------------------------------------------------------ classification
 
@@ -111,8 +157,11 @@ class ReplicaPool:
             executor.shutdown(wait=True)
 
     def describe(self) -> dict:
-        return {
-            "replicas": len(self.replicas),
-            "languages": self.languages,
-            "backend": self.replicas[0].config.backend,
-        }
+        info = super().describe()
+        info["executor"] = self.executor_kind
+        info["backend"] = self.replicas[0].config.backend
+        return info
+
+
+#: backwards-compatible name — PR 2 shipped the thread tier as ``ReplicaPool``
+ReplicaPool = ThreadReplicaPool

@@ -30,16 +30,20 @@ from collections.abc import Sequence
 from repro.api.identifier import LanguageIdentifier
 from repro.core.classifier import ClassificationResult
 from repro.serve.batcher import MicroBatcher
-from repro.serve.cache import ResultCache, text_digest
+from repro.serve.cache import ResultCache, model_fingerprint, text_digest
 from repro.serve.errors import (
     RequestTooLargeError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.replicas import SHARDING_DISCIPLINES, ReplicaPool
+from repro.serve.process_pool import ProcessReplicaPool
+from repro.serve.replicas import SHARDING_DISCIPLINES, ReplicaPoolBase, ThreadReplicaPool
 
-__all__ = ["ServeConfig", "ClassificationService"]
+__all__ = ["ServeConfig", "ClassificationService", "EXECUTORS"]
+
+#: replica execution tiers: GIL-bound worker threads vs true multi-core processes
+EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,11 @@ class ServeConfig:
         trigger); the knee of the latency/throughput trade-off.
     replicas:
         Number of independent model replicas classifying concurrently.
+    executor:
+        ``"thread"`` runs replicas on worker threads (cheap start-up, but
+        CPU-bound work serialises on the GIL); ``"process"`` runs them as
+        worker processes sharing one shared-memory model copy — true
+        multi-core scaling (see :class:`~repro.serve.process_pool.ProcessReplicaPool`).
     sharding:
         ``"round-robin"`` rotation or ``"hash"`` (shard by document digest).
     cache_size:
@@ -70,6 +79,7 @@ class ServeConfig:
     max_batch: int = 64
     max_delay_ms: float = 2.0
     replicas: int = 1
+    executor: str = "thread"
     sharding: str = "round-robin"
     cache_size: int = 1024
     max_pending: int = 1024
@@ -82,6 +92,10 @@ class ServeConfig:
             raise ValueError("max_delay_ms must be non-negative")
         if self.replicas <= 0:
             raise ValueError("replicas must be positive")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {list(EXECUTORS)}"
+            )
         if self.sharding not in SHARDING_DISCIPLINES:
             raise ValueError(
                 f"unknown sharding discipline {self.sharding!r}; "
@@ -106,12 +120,18 @@ class ClassificationService:
     config:
         The :class:`ServeConfig`; defaults favour throughput with a 2 ms
         latency budget.
+    cache:
+        Optional pre-existing :class:`~repro.serve.cache.ResultCache` to reuse
+        (e.g. kept warm across a model reload).  Safe by construction: every
+        key is prefixed with the model's fingerprint, so entries written by a
+        different model can never be replayed by this one.
     """
 
     def __init__(
         self,
         model: LanguageIdentifier | str | Path,
         config: ServeConfig | None = None,
+        cache: ResultCache | None = None,
     ):
         if isinstance(model, (str, Path)):
             model = LanguageIdentifier.load(model)
@@ -120,8 +140,12 @@ class ClassificationService:
         self.identifier = model
         self.config = config if config is not None else ServeConfig()
         self.metrics = ServiceMetrics()
-        self.cache = ResultCache(self.config.cache_size)
-        self._pool: ReplicaPool | None = None
+        self.cache = cache if cache is not None else ResultCache(self.config.cache_size)
+        # Cache keys are (model fingerprint || document digest): a restart with
+        # a different model fingerprints differently, so stale replays are
+        # structurally impossible even on a shared/warmed cache.
+        self._fingerprint = model_fingerprint(model)
+        self._pool: ReplicaPoolBase | None = None
         self._batchers: list[MicroBatcher] = []
         self._started = False
         self._closing = False
@@ -136,7 +160,14 @@ class ClassificationService:
         """Build the replica pool and start one micro-batcher per replica."""
         if self._started:
             return self
-        self._pool = ReplicaPool(self.identifier, self.config.replicas)
+        if self.config.executor == "process":
+            self._pool = ProcessReplicaPool(
+                self.identifier,
+                self.config.replicas,
+                on_respawn=self.metrics.record_worker_respawn,
+            )
+        else:
+            self._pool = ThreadReplicaPool(self.identifier, self.config.replicas)
         self._batchers = []
         for replica_index in range(self.config.replicas):
             batcher = MicroBatcher(
@@ -159,7 +190,9 @@ class ClassificationService:
         for batcher in self._batchers:
             await batcher.close()
         if self._pool is not None:
-            self._pool.close()
+            # Pool shutdown blocks (joins threads or worker processes); keep
+            # the event loop responsive while it happens.
+            await asyncio.get_running_loop().run_in_executor(None, self._pool.close)
         self._started = False
 
     async def __aenter__(self) -> "ClassificationService":
@@ -208,7 +241,8 @@ class ClassificationService:
             )
         start = time.perf_counter()
         digest = text_digest(text)
-        cached = self.cache.get(digest)
+        cache_key = self._fingerprint + digest
+        cached = self.cache.get(cache_key)
         if cached is not None:
             self.metrics.record_request(n_bytes)
             self.metrics.record_response(time.perf_counter() - start, cached=True)
@@ -222,7 +256,7 @@ class ClassificationService:
         # service accepted, so rejections never inflate throughput_mb_s
         self.metrics.record_request(n_bytes)
         result = await future
-        self.cache.put(digest, result)
+        self.cache.put(cache_key, result)
         self.metrics.record_response(time.perf_counter() - start)
         return result
 
@@ -245,9 +279,12 @@ class ClassificationService:
             "max_batch": self.config.max_batch,
             "max_delay_ms": self.config.max_delay_ms,
             "replicas": self.config.replicas,
+            "executor": self.config.executor,
             "sharding": self.config.sharding,
             "cache": self.cache.stats(),
+            "model_fingerprint": self._fingerprint.hex(),
         }
         if self._pool is not None:
             info["pending"] = [len(batcher) for batcher in self._batchers]
+            info["pool"] = self._pool.describe()
         return info

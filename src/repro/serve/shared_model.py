@@ -1,0 +1,154 @@
+"""One model in shared memory, N zero-copy process-local views.
+
+The paper gets its parallelism from many Bloom engines reading the same
+programmed bit-vectors out of on-chip RAM at once.  The software equivalent of
+"one physical copy, many readers" is a ``multiprocessing.shared_memory``
+segment holding the flat model artifact (see :mod:`repro.api.persistence`):
+the parent serialises the trained model into the segment once, worker
+processes attach by name and rebuild a :class:`~repro.api.identifier.LanguageIdentifier`
+whose profile arrays and Bloom bit-vectors are read-only NumPy *views* of the
+segment — no per-replica copy of the model ever exists, no matter how many
+workers classify concurrently.
+
+Lifecycle contract:
+
+* the creating process owns the segment and must :meth:`SharedModel.unlink` it
+  (done by :class:`~repro.serve.process_pool.ProcessReplicaPool` on close; a
+  ``weakref.finalize`` safety net unlinks on garbage collection / interpreter
+  exit so a crashed parent cannot leak the segment);
+* attaching processes only :meth:`SharedModel.close` their mapping — they are
+  explicitly unregistered from the ``resource_tracker`` so a worker exiting
+  (or crashing) can never tear the segment down under the other readers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.api.persistence import flat_model_bytes, load_model_from_buffer
+
+__all__ = ["SharedModel"]
+
+
+class SharedModel:
+    """A flat model artifact living in a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._unlinked = False
+        # Safety net for both roles: when this wrapper is dropped without an
+        # explicit close()/unlink() (or at interpreter shutdown), release the
+        # mapping — and, for the owner, free the segment name — instead of
+        # leaking it in /dev/shm or letting SharedMemory.__del__ trip over
+        # still-exported NumPy views.
+        self._finalizer = weakref.finalize(
+            self, _release_mapping, shm, shm.name if owner else None
+        )
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def create(cls, identifier) -> "SharedModel":
+        """Serialise ``identifier`` into a fresh segment (call in the parent)."""
+        blob = flat_model_bytes(identifier)
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedModel":
+        """Map an existing segment by name (call in a worker process).
+
+        Worker processes are spawn children of the segment's creator, so they
+        share the creator's ``resource_tracker`` process; attaching re-registers
+        the same name into the same tracker cache (a set — a deduplicated
+        no-op), and the entry is removed exactly once when the owner unlinks.
+        A worker exiting or crashing therefore never tears the segment down
+        under its siblings, and a crashed *parent* still gets the segment
+        reaped by the tracker.
+        """
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    # ------------------------------------------------------------ access
+
+    @property
+    def name(self) -> str:
+        """Segment name; pass to :meth:`attach` in another process."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Segment size in bytes (the flat artifact, page-aligned arrays)."""
+        return self._shm.size
+
+    def identifier(self, backend: str | None = None):
+        """Build a zero-copy identifier over the segment.
+
+        The returned identifier's profile arrays and (for the ``bloom``
+        backend) live bit-vectors are read-only views of the shared bytes;
+        it must not outlive this :class:`SharedModel`.  The payload CRC pass
+        is skipped: the creating parent serialised and laid the bytes out in
+        this process tree, so N attaching workers don't each re-hash the full
+        unpacked model (header and bounds validation still run).
+        """
+        view = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        view.flags.writeable = False
+        return load_model_from_buffer(
+            view, source=f"shm:{self.name}", backend=backend, verify=False
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself stays alive)."""
+        _close_or_neutralize(self._shm)
+
+    def unlink(self) -> None:
+        """Free the segment (owner only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        self._finalizer.detach()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already freed externally
+            pass
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "owner" if self._owner else "view"
+        return f"SharedModel(name={self.name!r}, size={self.size}, {role})"
+
+
+def _close_or_neutralize(shm: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating live NumPy views over its buffer.
+
+    Views pin the exported memoryview, making ``close()`` raise
+    ``BufferError``; in that case the handle is neutralised (its buffer and
+    mmap fields cleared) so ``SharedMemory.__del__`` cannot re-raise at GC,
+    and the OS reclaims the mapping at process exit.  Either way the segment
+    *name* is untouched — only :meth:`SharedModel.unlink` frees it.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None
+
+
+def _release_mapping(shm: shared_memory.SharedMemory, unlink_name: str | None) -> None:
+    _close_or_neutralize(shm)
+    if unlink_name is not None:
+        try:
+            segment = shared_memory.SharedMemory(name=unlink_name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with another unlink
+            pass

@@ -1,0 +1,199 @@
+"""Concurrency stress tests for the :class:`~repro.serve.batcher.MicroBatcher`.
+
+Bursty concurrent submitters hammer one batcher while the flush triggers are
+pinned to each extreme — deadline-only (the batch can never fill) and
+size-only (the deadline can never fire) — and the suite asserts the three
+invariants a micro-batcher must never break:
+
+* **no request lost** — every accepted submission resolves;
+* **no request duplicated** — every item is flushed exactly once;
+* **no out-of-order resolution** — flush order is global FIFO over accepted
+  submissions, and each future receives exactly its own item's result.
+
+Plus the cancellation cases: cancelling futures mid-queue (before their batch
+flushes) must not wedge the flush loop, drop neighbouring requests, or leak
+the cancelled items into a later batch twice.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.serve import MicroBatcher, ServiceOverloadedError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Recorder:
+    """Flush function that tags every item and records flush order."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list] = []
+        self.delay = delay
+
+    async def __call__(self, items):
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        self.batches.append(list(items))
+        return [("done", item) for item in items]
+
+    @property
+    def flushed(self) -> list:
+        return list(itertools.chain.from_iterable(self.batches))
+
+
+async def _burst_submitters(batcher, n_submitters: int, per_submitter: int, seed: int):
+    """Fire bursts of submissions from concurrent tasks, with retry on overload.
+
+    Returns (accepted items in submission order, gathered results).
+    """
+    accepted: list = []
+    results: dict = {}
+
+    async def submitter(sid: int):
+        # deterministic per-submitter burst pattern
+        for i in range(per_submitter):
+            item = (sid, i)
+            while True:
+                try:
+                    future = batcher.submit_nowait(item)
+                    accepted.append(item)
+                    break
+                except ServiceOverloadedError:
+                    await asyncio.sleep(0.001)
+            results[item] = asyncio.ensure_future(_collect(future))
+            if (sid + i + seed) % 3 == 0:  # bursty: yield irregularly
+                await asyncio.sleep(0)
+
+    async def _collect(future):
+        return await future
+
+    await asyncio.gather(*(submitter(sid) for sid in range(n_submitters)))
+    gathered = {item: await task for item, task in results.items()}
+    return accepted, gathered
+
+
+class TestBurstyConcurrentSubmitters:
+    @pytest.mark.parametrize(
+        "trigger_kwargs",
+        [
+            # deadline-only: the batch bound is unreachable, every flush is
+            # fired by the deadline timer
+            {"max_batch": 10_000, "max_delay": 0.001},
+            # size-only: the deadline is far away, every flush is fired by the
+            # size trigger (close() drains the final partial batch)
+            {"max_batch": 16, "max_delay": 60.0},
+            # mixed regime
+            {"max_batch": 8, "max_delay": 0.002},
+        ],
+    )
+    def test_no_loss_duplication_or_reordering(self, trigger_kwargs):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, max_pending=64, **trigger_kwargs)
+            batcher.start()
+            accepted, gathered = await _burst_submitters(
+                batcher, n_submitters=8, per_submitter=40, seed=1
+            )
+            await batcher.close()
+            return recorder, accepted, gathered
+
+        recorder, accepted, gathered = run(scenario())
+        flushed = recorder.flushed
+        # no loss, no duplication: exactly the accepted multiset, once each
+        assert len(flushed) == len(accepted) == 8 * 40
+        assert sorted(flushed) == sorted(accepted)
+        # global FIFO: flush order == acceptance order
+        assert flushed == accepted
+        # correct pairing: every future resolved with its own item's result
+        assert gathered == {item: ("done", item) for item in accepted}
+
+    def test_overload_rejections_never_lose_accepted_items(self):
+        async def scenario():
+            recorder = _Recorder(delay=0.002)  # slow flushes force real backpressure
+            batcher = MicroBatcher(recorder, max_batch=4, max_delay=0.0, max_pending=4)
+            batcher.start()
+            accepted, gathered = await _burst_submitters(
+                batcher, n_submitters=6, per_submitter=20, seed=2
+            )
+            await batcher.close()
+            return recorder, accepted, gathered
+
+        recorder, accepted, gathered = run(scenario())
+        assert recorder.flushed == accepted
+        assert gathered == {item: ("done", item) for item in accepted}
+        assert len(accepted) == 6 * 20  # every submission eventually admitted
+
+
+class TestCancellationMidQueue:
+    def test_cancelled_futures_do_not_wedge_the_flush_loop(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, max_batch=8, max_delay=60.0, max_pending=64)
+            batcher.start()
+            futures = [batcher.submit_nowait(i) for i in range(6)]
+            # cancel odd requests while they are still queued (deadline far away)
+            for future in futures[1::2]:
+                future.cancel()
+            # two more submissions complete the size-8 batch and force a flush
+            tail = [batcher.submit_nowait(i) for i in (6, 7)]
+            survivors = await asyncio.gather(*futures[0::2], *tail)
+            # cancelled futures stay cancelled; survivors resolve with their items
+            assert survivors == [("done", i) for i in (0, 2, 4, 6, 7)]
+            for future in futures[1::2]:
+                assert future.cancelled()
+            # the loop is not wedged: a fresh submission still round-trips
+            extra = batcher.submit_nowait("after-cancel")
+            for _ in range(8 - 1):  # fill the batch so the size trigger fires
+                batcher.submit_nowait("fill")
+            assert await extra == ("done", "after-cancel")
+            await batcher.close()
+            return recorder
+
+        recorder = run(scenario())
+        # every queued item was flushed exactly once, cancelled or not
+        assert sorted(
+            item for item in recorder.flushed if isinstance(item, int)
+        ) == list(range(8))
+
+    def test_cancellation_during_inflight_flush_is_harmless(self):
+        async def scenario():
+            release = asyncio.Event()
+            batches = []
+
+            async def flush(items):
+                batches.append(list(items))
+                await release.wait()
+                return [item * 10 for item in items]
+
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=60.0, max_pending=16)
+            batcher.start()
+            first = [batcher.submit_nowait(i) for i in (1, 2)]  # flushes immediately
+            await asyncio.sleep(0.01)  # the flush is now blocked on `release`
+            first[0].cancel()
+            second = [batcher.submit_nowait(i) for i in (3, 4)]  # queues behind it
+            release.set()
+            assert await asyncio.gather(*second) == [30, 40]
+            assert first[0].cancelled()
+            assert await first[1] == 20
+            await batcher.close()
+            return batches
+
+        batches = run(scenario())
+        assert batches == [[1, 2], [3, 4]]
+
+    def test_close_with_only_cancelled_requests_does_not_hang(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, max_batch=100, max_delay=60.0, max_pending=16)
+            batcher.start()
+            futures = [batcher.submit_nowait(i) for i in range(4)]
+            for future in futures:
+                future.cancel()
+            await asyncio.wait_for(batcher.close(), timeout=5.0)
+            assert all(future.cancelled() for future in futures)
+
+        run(scenario())

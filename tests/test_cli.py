@@ -115,6 +115,47 @@ class TestEndToEndCLI:
         assert set(meta["languages"]) == {"en", "fr"}
         assert meta["config"]["backend"] == "bloom"
 
+    def test_train_flat_format_and_classify(self, trained_model, capsys):
+        corpus_dir, _ = trained_model
+        flat_path = corpus_dir.parent / "model_flat"
+        assert main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(flat_path),
+                "--format", "flat",
+                "--profile-size", "800",
+            ]
+        ) == 0
+        written = corpus_dir.parent / "model_flat.bin"
+        assert written.is_file()
+        assert written.read_bytes()[:8] == b"RLIDFLT1"
+        assert "flat container" in capsys.readouterr().out
+        en_file = sorted((corpus_dir / "en").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(["classify", "--model", str(written), str(en_file)]) == 0
+        assert ": en" in capsys.readouterr().out
+
+    def test_flat_and_npz_models_classify_identically(self, trained_model, capsys):
+        corpus_dir, model_path = trained_model
+        flat_path = corpus_dir.parent / "same"
+        assert main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(flat_path),
+                "--format", "flat",
+                "--profile-size", "800",
+            ]
+        ) == 0
+        en_file = sorted((corpus_dir / "en").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(["classify", "--model", str(model_path), str(en_file)]) == 0
+        npz_line = capsys.readouterr().out.splitlines()[-1].split(": ", 1)[1]
+        assert main(["classify", "--model", str(flat_path) + ".bin", str(en_file)]) == 0
+        flat_line = capsys.readouterr().out.splitlines()[-1].split(": ", 1)[1]
+        assert npz_line == flat_line  # same language and same top-3 counts
+
     def test_evaluate_prints_accuracy(self, capsys):
         exit_code = main(
             [
@@ -229,6 +270,7 @@ class TestServeParser:
         assert parsed.max_batch == 64
         assert parsed.max_delay_ms == 2.0
         assert parsed.replicas == 1
+        assert parsed.executor == "thread"
         assert parsed.sharding == "round-robin"
         assert parsed.cache_size == 1024
         assert parsed.max_pending == 1024
@@ -238,11 +280,19 @@ class TestServeParser:
             [
                 "serve", "--model", "m.npz", "--port", "0", "--max-batch", "128",
                 "--max-delay-ms", "0.5", "--replicas", "4", "--sharding", "hash",
-                "--cache-size", "0", "--max-pending", "32",
+                "--executor", "process", "--cache-size", "0", "--max-pending", "32",
             ]
         )
         assert (parsed.max_batch, parsed.replicas, parsed.sharding) == (128, 4, "hash")
         assert parsed.max_delay_ms == 0.5 and parsed.cache_size == 0
+        assert parsed.executor == "process"
+
+    def test_serve_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--executor", "fiber"]
+            )
+        assert "invalid choice" in capsys.readouterr().err
 
     @pytest.mark.parametrize(
         "flag,value", [("--max-batch", "0"), ("--replicas", "-1"), ("--max-pending", "0")]

@@ -1,0 +1,293 @@
+"""Fuzz/robustness tests for model artifacts — both containers.
+
+Every malformed input must surface as :class:`ModelFormatError` (which also
+``isinstance``-checks as ``ValueError``), never as a raw NumPy / zipfile / OS
+internal error: zero-length files, truncations at arbitrary offsets, random
+bit-flips anywhere in ``model.bin`` (header *or* payload — the payload CRC32
+catches the latter), and hand-corrupted headers (bad magic, absurd header
+lengths, foreign format tags, future versions, broken array tables, arrays
+pointing past EOF, unsupported dtypes).
+
+Round-trip identity is checked both ways: ``.npz`` → flat → ``.npz`` must be
+bit-exact on the persisted state (profiles and Bloom bit-vectors), and a model
+loaded from either container must classify identically.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ClassifierConfig, LanguageIdentifier
+from repro.api.persistence import (
+    FLAT_MAGIC,
+    ModelFormatError,
+    flat_model_bytes,
+    load_model,
+    load_model_from_buffer,
+    save_model,
+)
+from repro.corpus.corpus import build_jrc_acquis_like
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    corpus = build_jrc_acquis_like(
+        ["en", "fr", "es"], docs_per_language=8, words_per_document=150, seed=5
+    )
+    config = ClassifierConfig(m_bits=4 * 1024, k=4, t=900, seed=2)
+    return LanguageIdentifier(config).train(corpus)
+
+
+@pytest.fixture(scope="module")
+def flat_blob(identifier):
+    return flat_model_bytes(identifier)
+
+
+def _expect_format_error(tmp_path, blob: bytes, name="model.bin"):
+    path = tmp_path / name
+    path.write_bytes(blob)
+    with pytest.raises(ModelFormatError):
+        load_model(path)
+
+
+# ------------------------------------------------------------------- round trips
+
+
+class TestRoundTrips:
+    def test_npz_flat_npz_is_bit_exact(self, identifier, tmp_path):
+        npz_path = save_model(identifier, tmp_path / "a")
+        via_npz = load_model(npz_path)
+        flat_path = save_model(via_npz, tmp_path / "b", format="flat")
+        via_flat = load_model(flat_path)
+        back_path = save_model(via_flat, tmp_path / "c")
+        back = load_model(back_path)
+
+        reference = identifier.backend.export_shared_state()
+        for restored in (via_npz, via_flat, back):
+            state = restored.backend.export_shared_state()
+            assert np.array_equal(
+                np.asarray(state["stacked_bits"]), np.asarray(reference["stacked_bits"])
+            )
+            assert np.array_equal(state["n_items"], reference["n_items"])
+            for language, profile in identifier.profiles.items():
+                assert np.array_equal(restored.profiles[language].ngrams, profile.ngrams)
+                assert np.array_equal(restored.profiles[language].counts, profile.counts)
+
+    def test_both_containers_classify_identically(self, identifier, tmp_path):
+        texts = ["quel est ce document", "a plain english sentence", "el perro corre", ""]
+        npz = load_model(save_model(identifier, tmp_path / "m"))
+        flat = load_model(save_model(identifier, tmp_path / "m2", format="flat"))
+        direct = identifier.classify_batch(texts)
+        assert [r.match_counts for r in npz.classify_batch(texts)] == [
+            r.match_counts for r in direct
+        ]
+        assert [r.match_counts for r in flat.classify_batch(texts)] == [
+            r.match_counts for r in direct
+        ]
+
+    def test_suffixless_save_load_round_trip(self, identifier, tmp_path):
+        path = save_model(identifier, tmp_path / "noext", format="flat")
+        assert path.name == "noext.bin"
+        assert load_model(tmp_path / "noext").languages == identifier.languages
+
+    def test_unknown_format_rejected(self, identifier, tmp_path):
+        with pytest.raises(ValueError, match="unknown artifact format"):
+            save_model(identifier, tmp_path / "x", format="tar")
+
+
+# ------------------------------------------------------------------- flat fuzzing
+
+
+class TestFlatCorruption:
+    def test_zero_length_file(self, tmp_path):
+        _expect_format_error(tmp_path, b"")
+
+    def test_magic_only_file(self, tmp_path):
+        _expect_format_error(tmp_path, FLAT_MAGIC)
+
+    @pytest.mark.parametrize("fraction", [0.001, 0.01, 0.2, 0.5, 0.9, 0.999])
+    def test_truncation_at_any_offset(self, flat_blob, tmp_path, fraction):
+        cut = max(len(FLAT_MAGIC) + 1, int(len(flat_blob) * fraction))
+        _expect_format_error(tmp_path, flat_blob[:cut], name=f"cut{fraction}.bin")
+
+    def test_bit_flips_anywhere_raise_model_format_error(self, flat_blob, tmp_path):
+        """Flip one bit at seeded offsets across the whole file — header bytes
+        break parsing/validation, payload bytes break the CRC32."""
+        rng = np.random.default_rng(77)
+        offsets = sorted(int(o) for o in rng.integers(0, len(flat_blob), size=24))
+        flipped_but_loaded = 0
+        for offset in offsets:
+            corrupt = bytearray(flat_blob)
+            corrupt[offset] ^= 1 << int(rng.integers(8))
+            path = tmp_path / f"flip{offset}.bin"
+            path.write_bytes(bytes(corrupt))
+            try:
+                load_model(path)
+                flipped_but_loaded += 1
+            except ModelFormatError:
+                pass
+            except FileNotFoundError:
+                raise
+        # Every single-bit corruption must be caught (magic/header checks or CRC).
+        assert flipped_but_loaded == 0
+
+    def test_trailing_padding_is_tolerated(self, flat_blob, tmp_path):
+        """Bytes past the declared payload must be ignored: shared-memory
+        segments are page-rounded on some platforms, so the mapped buffer can
+        be larger than the artifact.  The CRC covers only the real payload."""
+        path = tmp_path / "padded.bin"
+        path.write_bytes(flat_blob + b"\x00" * 4096)
+        assert load_model(path).is_trained
+        # page-rounded buffer through the zero-copy loader too
+        padded = memoryview(flat_blob + b"\xcc" * 512)
+        assert load_model_from_buffer(padded).is_trained
+
+    def test_npz_loaded_as_flat_and_vice_versa(self, identifier, tmp_path):
+        # a flat blob renamed .npz still load via magic sniffing ...
+        path = tmp_path / "disguised.npz"
+        path.write_bytes(flat_model_bytes(identifier))
+        assert load_model(path).languages == identifier.languages
+        # ... and an .npz blob with a .bin name routes to the zip reader
+        npz_path = save_model(identifier, tmp_path / "real")
+        renamed = tmp_path / "renamed.bin"
+        renamed.write_bytes(npz_path.read_bytes())
+        assert load_model(renamed).languages == identifier.languages
+
+
+def _rewrite_header(blob: bytes, mutate) -> bytes:
+    """Apply ``mutate(header_dict)`` and re-serialise with a fixed-up preamble."""
+    preamble = len(FLAT_MAGIC) + 8
+    header_len = int.from_bytes(blob[len(FLAT_MAGIC) : preamble], "little")
+    header = json.loads(blob[preamble : preamble + header_len].decode())
+    payload_start = (preamble + header_len + 4095) // 4096 * 4096
+    payload = blob[payload_start:]
+    mutate(header)
+    new_header = json.dumps(header, sort_keys=True).encode()
+    new_start = (preamble + len(new_header) + 4095) // 4096 * 4096
+    out = bytearray(new_start + len(payload))
+    out[: len(FLAT_MAGIC)] = FLAT_MAGIC
+    out[len(FLAT_MAGIC) : preamble] = len(new_header).to_bytes(8, "little")
+    out[preamble : preamble + len(new_header)] = new_header
+    out[new_start:] = payload
+    return bytes(out)
+
+
+class TestMismatchedHeaders:
+    def test_wrong_magic(self, flat_blob, tmp_path):
+        blob = b"NOTMAGIC" + flat_blob[len(FLAT_MAGIC) :]
+        path = tmp_path / "magic.bin"
+        path.write_bytes(blob)
+        # wrong magic routes to the npz reader, which must also reject it cleanly
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+    def test_absurd_header_length(self, flat_blob, tmp_path):
+        blob = bytearray(flat_blob)
+        blob[len(FLAT_MAGIC) : len(FLAT_MAGIC) + 8] = (1 << 40).to_bytes(8, "little")
+        _expect_format_error(tmp_path, bytes(blob), name="len.bin")
+
+    def test_header_not_json(self, flat_blob, tmp_path):
+        preamble = len(FLAT_MAGIC) + 8
+        blob = bytearray(flat_blob)
+        blob[preamble : preamble + 4] = b"\xff\xfe\x00{"
+        _expect_format_error(tmp_path, bytes(blob), name="json.bin")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda h: h["meta"].__setitem__("format", "other-model"),
+            lambda h: h["meta"].__setitem__("version", 99),
+            lambda h: h["meta"]["config"].__setitem__("nonsense_key", 1),
+            lambda h: h["meta"]["config"].__setitem__("m_bits", 12345),  # not a power of two
+            lambda h: h.__setitem__("arrays", "not-a-table"),
+            lambda h: h.pop("container"),
+            lambda h: h["meta"].pop("languages"),
+        ],
+        ids=[
+            "foreign-format",
+            "future-version",
+            "unknown-config-key",
+            "invalid-config-value",
+            "broken-array-table",
+            "missing-container-tag",
+            "missing-languages",
+        ],
+    )
+    def test_header_mutations_raise_model_format_error(self, flat_blob, tmp_path, mutate):
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="mut2.bin")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            # wrong-typed JSON values must not leak raw TypeError
+            lambda h: h["meta"].__setitem__("version", [1]),
+            lambda h: h["meta"].__setitem__("profile_params", {"en": "oops"}),
+            lambda h: h["meta"].__setitem__("languages", 17),
+            lambda h: h["meta"].__setitem__(
+                "profile_params",
+                {lang: {"n": "four", "t": 5} for lang in h["meta"]["languages"]},
+            ),
+        ],
+        ids=["version-list", "profile-params-string", "languages-int", "n-not-numeric"],
+    )
+    def test_header_mutations(self, flat_blob, tmp_path, mutate):
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="mut.bin")
+
+    def test_array_extending_past_payload(self, flat_blob, tmp_path):
+        def mutate(header):
+            name = next(iter(header["arrays"]))
+            header["arrays"][name]["offset"] = header["payload_size"]
+
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="oob.bin")
+
+    def test_unsupported_dtype_rejected(self, flat_blob, tmp_path):
+        def mutate(header):
+            name = next(iter(header["arrays"]))
+            header["arrays"][name]["dtype"] = "|O"
+
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="dtype.bin")
+
+    def test_shape_nbytes_mismatch_rejected(self, flat_blob, tmp_path):
+        def mutate(header):
+            name = next(iter(header["arrays"]))
+            header["arrays"][name]["shape"] = [1]
+
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="shape.bin")
+
+    def test_crc_must_cover_payload(self, flat_blob, tmp_path):
+        # a header whose CRC field is "fixed up" after a payload edit must be
+        # caught by the recomputation (sanity check on the test helper itself)
+        def mutate(header):
+            header["payload_crc32"] = (header["payload_crc32"] + 1) % (1 << 32)
+
+        _expect_format_error(tmp_path, _rewrite_header(flat_blob, mutate), name="crc.bin")
+
+    def test_buffer_loader_rejects_short_buffers(self):
+        with pytest.raises(ModelFormatError):
+            load_model_from_buffer(memoryview(b"tiny"))
+
+    def test_buffer_loader_validates_crc(self, flat_blob):
+        corrupt = bytearray(flat_blob)
+        corrupt[-1] ^= 0xFF
+        with pytest.raises(ModelFormatError):
+            load_model_from_buffer(memoryview(bytes(corrupt)))
+
+
+# ------------------------------------------------------------------- npz fuzzing
+
+
+class TestNpzCorruption:
+    def test_zero_length_npz(self, tmp_path):
+        _expect_format_error(tmp_path, b"", name="empty.npz")
+
+    def test_truncated_npz(self, identifier, tmp_path):
+        blob = save_model(identifier, tmp_path / "m").read_bytes()
+        _expect_format_error(tmp_path, blob[: len(blob) // 2], name="trunc.npz")
+
+    def test_random_bytes_npz(self, tmp_path):
+        rng = np.random.default_rng(3)
+        _expect_format_error(tmp_path, rng.bytes(4096), name="rand.npz")
+
+    def test_model_format_error_is_a_value_error(self):
+        assert issubclass(ModelFormatError, ValueError)

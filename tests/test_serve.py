@@ -25,6 +25,7 @@ from repro.serve import (
     ServiceMetrics,
     ServiceOverloadedError,
     clone_identifier,
+    model_fingerprint,
     percentile,
     text_digest,
 )
@@ -92,6 +93,67 @@ class TestResultCache:
     def test_digest_distinguishes_str_and_values(self):
         assert text_digest("abc") == text_digest(b"abc")
         assert text_digest("abc") != text_digest("abd")
+
+
+class TestModelFingerprint:
+    """Regression: cache keys must include the model fingerprint, so a service
+    restarted with a different model can never replay stale results."""
+
+    def _train(self, seed, t=1500, languages=("en", "fr", "es")):
+        corpus = build_jrc_acquis_like(
+            list(languages), docs_per_language=8, words_per_document=150, seed=seed
+        )
+        config = ClassifierConfig(m_bits=8 * 1024, k=4, t=t, seed=1)
+        return LanguageIdentifier(config).train(corpus)
+
+    def test_fingerprint_stable_for_equal_models(self):
+        a, b = self._train(21), self._train(21)
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_fingerprint_differs_for_different_profiles_or_config(self):
+        base = self._train(21)
+        assert model_fingerprint(base) != model_fingerprint(self._train(22))
+        assert model_fingerprint(base) != model_fingerprint(self._train(21, t=900))
+
+    def test_shared_cache_never_replays_results_across_models(self):
+        """A warm cache handed to a restarted service with a *different* model
+        must miss on every document the old model answered."""
+        model_a = self._train(21)
+        model_b = self._train(33)  # different training data => different answers
+        shared_cache = ResultCache(256)
+        text = "un document compartido entre reinicios del servicio"
+
+        async def serve_once(model):
+            service = ClassificationService(model, ServeConfig(), cache=shared_cache)
+            async with service:
+                return await service.classify(text), service
+
+        result_a, service_a = run(serve_once(model_a))
+        hits_before = shared_cache.hits
+        result_b, service_b = run(serve_once(model_b))
+        # the second service computed its own answer; it did not replay A's
+        assert shared_cache.hits == hits_before
+        assert result_b.match_counts == model_b.classify(text).match_counts
+        assert result_a.match_counts == model_a.classify(text).match_counts
+        # both entries coexist under their own fingerprints
+        assert len(shared_cache) == 2
+        assert service_a._fingerprint != service_b._fingerprint
+
+    def test_shared_cache_still_hits_for_the_same_model(self):
+        model = self._train(21)
+        shared_cache = ResultCache(256)
+        text = "le meme document deux fois"
+
+        async def serve_once():
+            async with ClassificationService(
+                model, ServeConfig(), cache=shared_cache
+            ) as service:
+                return await service.classify(text)
+
+        first = run(serve_once())
+        second = run(serve_once())  # "restart" with an identical model
+        assert shared_cache.hits == 1
+        assert first == second
 
 
 # ------------------------------------------------------------------- metrics

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Segmenting code-switched documents into single-language spans.
+
+The paper labels each document with exactly one language; real feeds (news
+wires, chat logs, spam) splice languages mid-document, where a single label is
+simply wrong.  This example builds mixed documents with known ground-truth
+boundaries (:class:`~repro.corpus.generator.MixedDocumentGenerator`), segments
+them with the windowed Bloom scorer + Viterbi smoothing
+(:meth:`~repro.api.identifier.LanguageIdentifier.segment`), and scores the
+predicted spans against the truth — comparing what whole-document ``classify``
+would have reported.
+
+Run with:  python examples/code_switching.py
+"""
+
+from repro import LanguageIdentifier
+from repro.analysis.reporting import format_table
+from repro.corpus.generator import MixedDocumentGenerator, SyntheticCorpusBuilder
+
+LANGUAGES = ("en", "fr", "fi", "es", "da")
+
+
+def char_accuracy(result, mixed) -> float:
+    """Fraction of characters whose span label matches the ground truth."""
+    correct = sum(
+        span.overlap(segment.start, segment.end)
+        for span in result.spans
+        for segment in mixed.segments
+        if span.language == segment.language
+    )
+    return correct / max(1, len(mixed.text))
+
+
+def main() -> None:
+    corpus = SyntheticCorpusBuilder(
+        languages=LANGUAGES, docs_per_language=25, words_per_document=220, seed=11
+    ).build()
+    identifier = LanguageIdentifier(m_bits=16 * 1024, k=4, t=4000, seed=3).train(corpus)
+
+    generator = MixedDocumentGenerator(
+        LANGUAGES, seed=41, segments_range=(2, 4), words_per_segment=100
+    )
+    mixed_docs = generator.generate_many(8)
+
+    rows = []
+    total_accuracy = 0.0
+    for index, mixed in enumerate(mixed_docs):
+        result = identifier.segment(mixed.text)
+        accuracy = char_accuracy(result, mixed)
+        total_accuracy += accuracy
+        single_label = identifier.classify(mixed.text).language
+        rows.append(
+            (
+                index,
+                " ".join(mixed.languages),
+                " ".join(f"{s.language}[{s.start}:{s.end})" for s in result.spans),
+                single_label,
+                f"{100 * accuracy:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ("doc", "truth", "predicted spans", "classify()", "char acc"),
+            rows,
+            title="Mixed-document segmentation vs whole-document classification",
+        )
+    )
+    print(f"\nmean character accuracy: {100 * total_accuracy / len(mixed_docs):.1f}%")
+    print(
+        "note: classify() is forced to pick ONE language per document — every\n"
+        "character of the other segments is mislabelled by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

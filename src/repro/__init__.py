@@ -32,6 +32,11 @@ The package is organised as a set of substrates plus the paper's core contributi
     The asynchronous micro-batching classification service (replica pool,
     LRU result cache, backpressure, metrics, JSON/HTTP front-end) — the
     software twin of the paper's asynchronous host driver.
+``repro.segment``
+    Mixed-language document segmentation: a cumulative-sum windowed scorer on
+    the vectorized Bloom hot path plus Viterbi/hysteresis smoothing, turning
+    code-switched documents into labelled ``Span`` runs (also served as
+    ``POST /segment`` and ``repro segment``).
 
 Quickstart
 ----------
@@ -76,7 +81,13 @@ from repro.core.fpr import false_positive_rate, false_positives_per_thousand
 from repro.core.ngram import NGramExtractor, ngrams_from_text, pack_ngrams
 from repro.core.profile import LanguageProfile, build_profiles
 from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
-from repro.corpus.generator import DocumentGenerator, SyntheticCorpusBuilder
+from repro.corpus.generator import (
+    DocumentGenerator,
+    MixedDocument,
+    MixedDocumentGenerator,
+    SyntheticCorpusBuilder,
+)
+from repro.segment import SegmentationResult, Segmenter, SegmenterConfig, Span
 
 __version__ = "1.0.0"
 
@@ -107,5 +118,11 @@ __all__ = [
     "build_jrc_acquis_like",
     "DocumentGenerator",
     "SyntheticCorpusBuilder",
+    "MixedDocument",
+    "MixedDocumentGenerator",
+    "Span",
+    "SegmentationResult",
+    "SegmenterConfig",
+    "Segmenter",
     "__version__",
 ]

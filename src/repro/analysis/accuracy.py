@@ -5,6 +5,12 @@ ten language test sets ("the accuracy of the classifier varies between 99.05% an
 99.76% with an average of 99.45%", Section 5.1).  :func:`evaluate_classifier`
 computes exactly that, along with the overall (micro) accuracy and the confusion
 matrix used to verify the confusable-pair structure.
+
+Everything here evaluates *whole-document* labels.  For mixed-language
+(code-switched) documents a single label is the wrong unit of account: use
+:mod:`repro.segment` to label spans instead, and score span-level accuracy /
+boundary F1 against :class:`~repro.corpus.generator.MixedDocument` ground
+truth (see ``benchmarks/test_segment.py``).
 """
 
 from __future__ import annotations
@@ -74,7 +80,10 @@ def evaluate_classifier(classifier, corpus: Corpus, record_misclassified: bool =
 
     ``classifier`` needs a ``classify_text`` method returning either a
     :class:`~repro.core.classifier.ClassificationResult` or a plain language string
-    (both the paper's classifier and the baselines satisfy this).
+    (both the paper's classifier and the baselines satisfy this).  Assumes each
+    document has exactly one language; for code-switched documents evaluate
+    span labels from :meth:`repro.api.identifier.LanguageIdentifier.segment`
+    instead.
     """
     languages = corpus.languages
     index = {language: i for i, language in enumerate(languages)}

@@ -97,18 +97,21 @@ class BloomBackend(Backend):
             )
         return self._stacked_bits
 
-    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        """Boolean ``(languages, n_ngrams)`` membership matrix, one hash pass.
+
+        Each n-gram is hashed exactly once and the addresses are reused across
+        every language's bit-vectors (the same sharing
+        :meth:`~repro.core.bloom.ParallelBloomFilter.test_addresses` gives the
+        per-document path); chunking keeps the hash temporaries cache-resident.
+        This matrix is both the batch path's intermediate and the windowed
+        segmentation scorer's input.
+        """
         self._check_trained()
-        lengths = np.asarray(lengths, dtype=np.int64)
-        n_languages = len(self.classifier.filters)
-        out = np.zeros((lengths.size, n_languages), dtype=np.int64)
-        if packed.size == 0:
-            return out
         packed = np.asarray(packed, dtype=np.uint64)
-        # Each n-gram of the batch is hashed exactly once and the addresses are
-        # reused across every document *and* every language; chunking keeps the
-        # hash temporaries cache-resident, which is where the speedup over the
-        # per-document loop comes from.
+        n_languages = len(self.classifier.filters)
+        if packed.size == 0:
+            return np.zeros((n_languages, 0), dtype=bool)
         stacked = self._stacked_bit_vectors()
         hits = np.empty((n_languages, packed.size), dtype=bool)
         for start in range(0, packed.size, BATCH_CHUNK_NGRAMS):
@@ -118,6 +121,19 @@ class BloomBackend(Backend):
             for i in range(1, self.config.k):
                 chunk_hits &= stacked[i][:, addresses[i]]
             hits[:, start : start + segment.size] = chunk_hits
+        return hits
+
+    def match_counts_batch(self, packed: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_languages = len(self.classifier.filters)
+        out = np.zeros((lengths.size, n_languages), dtype=np.int64)
+        if packed.size == 0:
+            return out
+        # Each n-gram of the batch is hashed exactly once and the addresses are
+        # reused across every document *and* every language (ngram_hits);
+        # per-document totals fall out of the shared segment reduction.
+        hits = self.ngram_hits(packed)
         for column in range(n_languages):
             out[:, column] = segment_sums(hits[column], lengths)
         return out
@@ -262,6 +278,15 @@ class ExactBackend(Backend):
             out[:, column] = segment_sums(hits, lengths)
         return out
 
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.size == 0:
+            return np.zeros((len(self.languages), 0), dtype=bool)
+        return np.stack(
+            [hits for _language, hits in self.classifier.membership_hits(packed)]
+        )
+
 
 @register_backend("hw-sim")
 class HardwareSimBackend(Backend):
@@ -294,6 +319,29 @@ class HardwareSimBackend(Backend):
         return np.asarray(
             [report.match_counts[language] for language in self.languages], dtype=np.int64
         )
+
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        """Functional per-n-gram membership from the RAM snapshots, one hash pass.
+
+        Reads the first engine copy's bit-vector snapshots directly (every copy
+        is programmed identically), so the result is bit-exact with the
+        cycle-accurate datapath but skips the per-cycle simulation — without
+        this override the generic fallback would run one full
+        ``process_document`` simulation per n-gram.  No cycles are accounted.
+        """
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.size == 0:
+            return np.zeros((len(self.languages), 0), dtype=bool)
+        unit = self.engine.units[0]
+        addresses = self.engine.hashes.hash_all(packed)
+        out = np.empty((len(unit.engines), packed.size), dtype=bool)
+        for row, engine in enumerate(unit.engines.values()):
+            hits = np.ones(packed.size, dtype=bool)
+            for i, vector in enumerate(engine.vectors):
+                hits &= vector.snapshot()[addresses[i]]
+            out[row] = hits
+        return out
 
     def describe(self) -> dict:
         info = super().describe()
@@ -367,6 +415,18 @@ class MguesserBackend(Backend):
             for row in range(lengths.size):
                 score = float(weights[starts[row] : ends[row]].sum())
                 out[row, column] = int(round(score * MGUESSER_SCORE_SCALE))
+        return out
+
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.size == 0:
+            return np.zeros((len(self.languages), 0), dtype=np.int64)
+        out = np.zeros((len(self.languages), packed.size), dtype=np.int64)
+        for row, language in enumerate(self.languages):
+            out[row] = np.round(
+                self._weights_of(language, packed) * MGUESSER_SCORE_SCALE
+            ).astype(np.int64)
         return out
 
     def describe(self) -> dict:

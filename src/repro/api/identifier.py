@@ -179,6 +179,29 @@ class LanguageIdentifier:
 
         return generate()
 
+    # ------------------------------------------------------------ segmentation
+
+    def segment(self, text: str | bytes, **overrides):
+        """Segment a mixed-language document into single-language spans.
+
+        Runs the windowed cumulative-sum scorer + smoothing pipeline of
+        :mod:`repro.segment` against this identifier's backend and returns a
+        :class:`~repro.segment.types.SegmentationResult` whose spans tile the
+        document.  Keyword overrides configure the
+        :class:`~repro.segment.segmenter.SegmenterConfig` for this call, e.g.
+        ``identifier.segment(text, smoothing="hysteresis")``; the
+        default-configured segmenter is cached across calls.
+        """
+        from repro.segment import Segmenter
+
+        self._check_trained()
+        if overrides:
+            return Segmenter(self, **overrides).segment(text)
+        segmenter = getattr(self, "_default_segmenter", None)
+        if segmenter is None or segmenter.identifier is not self:
+            segmenter = self._default_segmenter = Segmenter(self)
+        return segmenter.segment(text)
+
     # ------------------------------------------------------------ persistence
 
     def save(self, path: str | Path, format: str = "npz") -> Path:

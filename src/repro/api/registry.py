@@ -110,6 +110,32 @@ class Backend(abc.ABC):
             start += length
         return out
 
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        """Per-n-gram, per-language scores for one document's packed n-grams.
+
+        The primitive behind windowed segmentation
+        (:class:`repro.segment.windows.WindowedScorer`): instead of one count
+        per (document, language), every n-gram keeps its own column of
+        per-language scores, so sliding-window totals fall out of a cumulative
+        sum.  For the membership backends the scores are 0/1 hits and summing
+        along the n-gram axis reproduces :meth:`match_counts` exactly; scoring
+        backends (``mguesser``) return per-n-gram fixed-point weights whose sum
+        may differ from :meth:`match_counts` by rounding.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer (or boolean) array of shape ``(len(self.languages),
+            n_ngrams)``.  The generic fallback reuses
+            :meth:`match_counts_batch` with unit-length segments — correct for
+            every backend, and already vectorized wherever the batch path is.
+        """
+        self._check_trained()
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.size == 0:
+            return np.zeros((len(self.languages), 0), dtype=np.int64)
+        return self.match_counts_batch(packed, np.ones(packed.size, dtype=np.int64)).T
+
     # ------------------------------------------------------------ persistence hooks
 
     def export_state(self) -> dict[str, np.ndarray]:

@@ -11,6 +11,10 @@ Subcommands
 ``classify``
     Classify one or more text files (or stdin via ``-``) against a saved model;
     ``--backend`` re-programs the model's profiles into a different engine.
+``segment``
+    Label single-language *spans* inside mixed-language files using the
+    windowed Bloom scorer (:mod:`repro.segment`); ``--json`` emits one JSON
+    object per file instead of the human-readable span listing.
 ``evaluate``
     Train/test split evaluation on a synthetic corpus (prints per-language accuracy).
 ``sweep``
@@ -179,7 +183,51 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     # model configuration's stream_batch_size.
     for result in identifier.classify_stream(documents(), batch_size=args.batch_size):
         ranking = ", ".join(f"{lang}={count}" for lang, count in result.ranking()[:3])
-        print(f"{labels.popleft()}: {result.language}  ({ranking})")
+        print(
+            f"{labels.popleft()}: {result.language}  "
+            f"confidence={result.confidence:.2f}  ({ranking})"
+        )
+    return 0
+
+
+def _cmd_segment(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.segment import Segmenter, SegmenterConfig, segmentation_to_json
+
+    identifier = LanguageIdentifier.load(Path(args.model), backend=args.backend)
+    segmenter = Segmenter(
+        identifier,
+        SegmenterConfig(
+            window_ngrams=args.window,
+            stride_ngrams=args.stride,
+            smoothing=args.smoothing,
+            switch_penalty=args.switch_penalty,
+            min_run_windows=args.min_run,
+        ),
+    )
+    stdin_text: str | None = None
+    for file_name in args.files:
+        if file_name == "-":
+            if stdin_text is None:
+                stdin_text = _read_stdin_document()
+            label, text = "<stdin>", stdin_text
+        else:
+            label, text = file_name, Path(file_name).read_text(encoding="latin-1")
+        result = segmenter.segment(text)
+        if args.json:
+            print(json.dumps({"file": label, **segmentation_to_json(result)}))
+            continue
+        print(
+            f"{label}: {len(result.spans)} span(s), "
+            f"dominant={result.dominant_language or '-'}"
+        )
+        for span in result.spans:
+            snippet = " ".join(text[span.start : span.end].split())[:48]
+            print(
+                f"  [{span.start:6d}:{span.end:6d}) {span.language:<4} "
+                f"confidence={span.confidence:.2f}  {snippet!r}"
+            )
     return 0
 
 
@@ -392,6 +440,42 @@ def build_parser() -> argparse.ArgumentParser:
     add_batch_size_option(classify, None)
     classify.add_argument("files", nargs="+", help="text files to classify; '-' reads stdin")
     classify.set_defaults(func=_cmd_classify)
+
+    segment = sub.add_parser(
+        "segment", help="label language spans inside mixed-language files"
+    )
+    segment.add_argument("--model", required=True, help="model artifact written by 'train'")
+    segment.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="override the model's backend (profiles are re-programmed)",
+    )
+    segment.add_argument(
+        "--window", type=_positive_int, default=160,
+        help="sliding-window length in n-grams (~characters for 4-grams)",
+    )
+    segment.add_argument(
+        "--stride", type=_positive_int, default=None,
+        help="window start spacing in n-grams (default: window/4, overlapping)",
+    )
+    segment.add_argument(
+        "--smoothing", choices=("viterbi", "hysteresis", "none"), default="viterbi",
+        help="label smoothing: exact HMM decode, cheap confirmation counter, or raw argmax",
+    )
+    segment.add_argument(
+        "--switch-penalty", type=float, default=0.35,
+        help="Viterbi cost of one language switch (normalized emission units)",
+    )
+    segment.add_argument(
+        "--min-run", type=_positive_int, default=2,
+        help="hysteresis confirmation length in windows",
+    )
+    segment.add_argument(
+        "--json", action="store_true", help="emit one JSON object per file"
+    )
+    segment.add_argument("files", nargs="+", help="text files to segment; '-' reads stdin")
+    segment.set_defaults(func=_cmd_segment)
 
     evaluate = sub.add_parser("evaluate", help="train/test evaluation on a synthetic corpus")
     add_corpus_options(evaluate)

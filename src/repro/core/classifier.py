@@ -34,7 +34,26 @@ from repro.core.profile import DEFAULT_PROFILE_SIZE, LanguageProfile, build_prof
 from repro.hashes.base import HashFamily
 from repro.hashes.families import make_hash_family
 
-__all__ = ["ClassificationResult", "BloomNGramClassifier", "ExactNGramClassifier"]
+__all__ = [
+    "ClassificationResult",
+    "BloomNGramClassifier",
+    "ExactNGramClassifier",
+    "normalized_separation",
+]
+
+
+def normalized_separation(top: int, rival: int) -> float:
+    """Normalized separation ``(top - rival) / top``, clamped to ``[0, 1]``.
+
+    The one confidence definition shared by whole-document classification
+    (:attr:`ClassificationResult.confidence`) and span labelling
+    (:class:`repro.segment.types.Span`), so the two surfaces stay comparable:
+    0 when the top two scores tie (or nothing matched), 1 when no rival
+    matched at all.
+    """
+    if top <= 0:
+        return 0.0
+    return max(0.0, (top - rival) / top)
 
 
 @dataclass
@@ -70,6 +89,20 @@ class ClassificationResult:
         if len(counts) < 2:
             return counts[0] if counts else 0
         return counts[0] - counts[1]
+
+    @property
+    def confidence(self) -> float:
+        """Normalized separation ``(top - runner_up) / top``, in ``[0, 1]``.
+
+        0 means the top two languages tied (or no n-gram matched anything);
+        1 means no other language matched at all.  Unlike :attr:`margin`, the
+        value is comparable across document lengths and across backends whose
+        counters use different scales (Bloom hits vs fixed-point scores).
+        """
+        counts = sorted(self.match_counts.values(), reverse=True)
+        if not counts:
+            return 0.0
+        return normalized_separation(counts[0], counts[1] if len(counts) > 1 else 0)
 
     def ranking(self) -> list[tuple[str, int]]:
         """Languages ordered by decreasing match count."""

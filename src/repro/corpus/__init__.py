@@ -22,7 +22,13 @@ synthetic legal-register-flavoured filler.
 """
 
 from repro.corpus.corpus import Corpus, Document, build_jrc_acquis_like
-from repro.corpus.generator import DocumentGenerator, SyntheticCorpusBuilder
+from repro.corpus.generator import (
+    DocumentGenerator,
+    MixedDocument,
+    MixedDocumentGenerator,
+    MixedSegment,
+    SyntheticCorpusBuilder,
+)
 from repro.corpus.languages import LANGUAGES, LanguageSpec, PAPER_LANGUAGES, get_language
 
 __all__ = [
@@ -31,6 +37,9 @@ __all__ = [
     "build_jrc_acquis_like",
     "DocumentGenerator",
     "SyntheticCorpusBuilder",
+    "MixedSegment",
+    "MixedDocument",
+    "MixedDocumentGenerator",
     "LANGUAGES",
     "LanguageSpec",
     "PAPER_LANGUAGES",

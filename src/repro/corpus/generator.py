@@ -19,6 +19,7 @@ Two properties matter for the reproduction:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
@@ -26,7 +27,13 @@ import numpy as np
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.languages import LANGUAGES, LanguageSpec, get_language
 
-__all__ = ["DocumentGenerator", "SyntheticCorpusBuilder"]
+__all__ = [
+    "DocumentGenerator",
+    "SyntheticCorpusBuilder",
+    "MixedSegment",
+    "MixedDocument",
+    "MixedDocumentGenerator",
+]
 
 #: fixed seed component for vocabulary synthesis (independent of document seeds)
 _VOCAB_SEED = 0x5EED_0001
@@ -218,6 +225,183 @@ class DocumentGenerator:
             n_words = max(20, int(words_per_document * jitter))
             docs.append(self.generate_document(n_words=n_words, index=start_index + i))
         return docs
+
+
+@dataclass(frozen=True)
+class MixedSegment:
+    """Ground-truth labelling of one single-language stretch of a mixed document."""
+
+    start: int
+    end: int
+    language: str
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MixedDocument:
+    """A code-switched document with its ground-truth segment boundaries.
+
+    ``segments`` tile ``[0, len(text))`` exactly: the separator whitespace
+    between two spliced pieces is attributed to the preceding segment, so
+    segment boundaries are well-defined single character positions.
+    """
+
+    text: str
+    segments: tuple[MixedSegment, ...]
+
+    @property
+    def languages(self) -> list[str]:
+        """Segment languages in document order."""
+        return [segment.language for segment in self.segments]
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Interior boundary positions (segment count minus one entries)."""
+        return [segment.end for segment in self.segments[:-1]]
+
+    def label_at(self, position: int) -> str | None:
+        """The ground-truth language at character ``position``."""
+        for segment in self.segments:
+            if segment.start <= position < segment.end:
+                return segment.language
+        return None
+
+
+class MixedDocumentGenerator:
+    """Generates code-switched documents with known segment boundaries.
+
+    Splices seeded single-language stretches (each produced by the ordinary
+    :class:`DocumentGenerator` for its language, so vocabulary determinism is
+    inherited) into one document, recording the exact character range each
+    language occupies — the ground truth the segmentation benchmarks score
+    against.
+
+    Parameters
+    ----------
+    languages:
+        Candidate language codes.  At least two are required; consecutive
+        segments always use different languages.
+    seed:
+        Master seed; document ``index`` plus this seed fully determines a
+        document, independent of generator instance or process.
+    segments_range:
+        Inclusive ``(low, high)`` bounds on the number of spliced segments.
+    words_per_segment:
+        Mean length of one segment in words (~6 characters per word, so the
+        default of 90 words yields segments comfortably over 400 characters).
+    words_jitter:
+        Relative jitter applied to each segment's word count.
+    avoid_related_adjacent:
+        When true (default), a segment's language is never followed by its
+        declared confusable sibling (es/pt, cs/sk, ...), keeping ground-truth
+        boundaries meaningful — between related languages the "true" boundary
+        of blended synthetic text is statistically ill-defined.
+    related_blend:
+        Sibling-vocabulary blending passed through to each segment's
+        :class:`DocumentGenerator` (0 disables it; the default keeps segments
+        cleanly separable).
+    """
+
+    def __init__(
+        self,
+        languages: Sequence[str],
+        seed: int = 0,
+        segments_range: tuple[int, int] = (2, 4),
+        words_per_segment: int = 90,
+        words_jitter: float = 0.25,
+        avoid_related_adjacent: bool = True,
+        related_blend: float = 0.0,
+    ):
+        codes = tuple(languages)
+        if len(codes) < 2:
+            raise ValueError("at least two languages are required for mixed documents")
+        unknown = [code for code in codes if code not in LANGUAGES]
+        if unknown:
+            raise ValueError(f"unknown language codes: {unknown}")
+        low, high = segments_range
+        if low < 1 or high < low:
+            raise ValueError(f"invalid segments_range {segments_range!r}")
+        if words_per_segment <= 0:
+            raise ValueError("words_per_segment must be positive")
+        if not 0.0 <= words_jitter < 1.0:
+            raise ValueError("words_jitter must be in [0, 1)")
+        self.languages = codes
+        self.seed = int(seed)
+        self.segments_range = (int(low), int(high))
+        self.words_per_segment = int(words_per_segment)
+        self.words_jitter = float(words_jitter)
+        self.avoid_related_adjacent = bool(avoid_related_adjacent)
+        if self.avoid_related_adjacent:
+            # Fail fast instead of silently degrading: every language must
+            # have at least one allowed successor, otherwise the documented
+            # never-adjacent-siblings guarantee cannot hold (e.g. a set of
+            # exactly one confusable pair).
+            for code in codes:
+                if not self._allowed_successors(code):
+                    raise ValueError(
+                        f"avoid_related_adjacent leaves no valid successor for "
+                        f"{code!r} in {codes!r}; add an unrelated language or "
+                        f"pass avoid_related_adjacent=False"
+                    )
+        self._generators = {
+            code: DocumentGenerator(code, seed=self.seed, related_blend=related_blend)
+            for code in codes
+        }
+
+    def _allowed_successors(self, previous: str) -> list[str]:
+        """Languages that may follow ``previous`` under the adjacency rules."""
+        banned = {previous}
+        if self.avoid_related_adjacent:
+            banned.add(get_language(previous).related)
+            banned.update(
+                code for code in self.languages if get_language(code).related == previous
+            )
+        return [code for code in self.languages if code not in banned]
+
+    def _rng_for_document(self, index: int) -> np.random.Generator:
+        # stable across processes, mirroring DocumentGenerator._rng_for_document
+        return np.random.default_rng((self.seed * 3_000_017 + index * 101) % (2**63))
+
+    def _pick_languages(self, count: int, rng: np.random.Generator) -> list[str]:
+        picked: list[str] = []
+        for _ in range(count):
+            candidates = self._allowed_successors(picked[-1]) if picked else list(self.languages)
+            picked.append(str(rng.choice(np.asarray(candidates, dtype=object))))
+        return picked
+
+    def generate(self, index: int = 0) -> MixedDocument:
+        """Generate the ``index``-th mixed document (deterministic in ``(seed, index)``)."""
+        rng = self._rng_for_document(index)
+        low, high = self.segments_range
+        count = int(rng.integers(low, high + 1))
+        codes = self._pick_languages(count, rng)
+        pieces: list[str] = []
+        for position, code in enumerate(codes):
+            jitter = 1.0 + self.words_jitter * (2.0 * rng.random() - 1.0)
+            n_words = max(20, int(self.words_per_segment * jitter))
+            # collision-free per-position indices (position < high + 1), so no
+            # two segments across any documents ever share underlying content
+            pieces.append(
+                self._generators[code].generate_document(
+                    n_words=n_words, index=index * (high + 1) + position
+                )
+            )
+        segments: list[MixedSegment] = []
+        offset = 0
+        for position, (code, piece) in enumerate(zip(codes, pieces)):
+            # separator whitespace belongs to the preceding segment
+            length = len(piece) + (1 if position < len(pieces) - 1 else 0)
+            segments.append(MixedSegment(start=offset, end=offset + length, language=code))
+            offset += length
+        return MixedDocument(text=" ".join(pieces), segments=tuple(segments))
+
+    def generate_many(self, count: int, start_index: int = 0) -> list[MixedDocument]:
+        """Generate ``count`` mixed documents at consecutive indices."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate(index=start_index + i) for i in range(count)]
 
 
 class SyntheticCorpusBuilder:

@@ -1,0 +1,211 @@
+"""The `Segmenter`: windowed scoring + smoothing + run merging, one call.
+
+Pipeline for one document (:meth:`Segmenter.segment`):
+
+1. extract packed n-grams once (the identifier's configured pipeline);
+2. score sliding windows via the cumulative-sum scorer
+   (:class:`~repro.segment.windows.WindowedScorer` — O(doc) however many
+   windows overlap);
+3. smooth the per-window winners into stable label runs
+   (:mod:`repro.segment.smoothing`: Viterbi or hysteresis);
+4. merge runs into :class:`~repro.segment.types.Span` objects with character
+   offsets and per-span confidences.
+
+Degenerate documents stay consistent with ``classify``: a document whose
+smoothed labels never switch comes back as exactly one span whose language is
+the argmax of the *total* per-language counts — for the membership backends
+that is precisely the label ``classify`` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import normalized_separation
+from repro.segment.smoothing import hysteresis_labels, viterbi_labels
+from repro.segment.types import SegmentationResult, Span
+from repro.segment.windows import WindowedScorer
+
+__all__ = ["SMOOTHING_MODES", "SegmenterConfig", "Segmenter"]
+
+#: available smoothing passes: exact HMM decode, cheap hysteresis, or none
+SMOOTHING_MODES = ("viterbi", "hysteresis", "none")
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Tuning knobs of one :class:`Segmenter`.
+
+    Attributes
+    ----------
+    window_ngrams:
+        Sliding-window length in n-grams (~characters for 4-grams).
+    stride_ngrams:
+        Window start spacing; ``None`` means ``window_ngrams // 4``
+        (overlapping windows — finer boundaries at no extra hashing cost).
+    smoothing:
+        ``"viterbi"`` (exact HMM decode, the quality mode), ``"hysteresis"``
+        (cheap confirmation counter), or ``"none"`` (raw per-window argmax).
+    switch_penalty:
+        Viterbi cost of one language change, in units of one window's
+        normalized emission mass.
+    min_run_windows:
+        Hysteresis confirmation length: a challenger must win this many
+        consecutive windows to take over.
+    """
+
+    window_ngrams: int = 160
+    stride_ngrams: int | None = None
+    smoothing: str = "viterbi"
+    switch_penalty: float = 0.35
+    min_run_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_ngrams <= 0:
+            raise ValueError("window_ngrams must be positive")
+        if self.stride_ngrams is not None and self.stride_ngrams <= 0:
+            raise ValueError("stride_ngrams must be positive")
+        if self.smoothing not in SMOOTHING_MODES:
+            raise ValueError(
+                f"unknown smoothing mode {self.smoothing!r}; "
+                f"choose from {list(SMOOTHING_MODES)}"
+            )
+        if self.switch_penalty < 0:
+            raise ValueError("switch_penalty must be non-negative")
+        if self.min_run_windows <= 0:
+            raise ValueError("min_run_windows must be positive")
+
+    def replace(self, **overrides) -> "SegmenterConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+class Segmenter:
+    """Labels spans of mixed-language documents against a trained identifier.
+
+    Parameters
+    ----------
+    identifier:
+        A trained :class:`~repro.api.identifier.LanguageIdentifier`.  Any
+        backend works (the scorer only needs
+        :meth:`~repro.api.registry.Backend.ngram_hits`); ``bloom`` and
+        ``exact`` have fully vectorized hit paths.
+    config:
+        The :class:`SegmenterConfig`; keyword overrides may be applied on top,
+        e.g. ``Segmenter(identifier, smoothing="hysteresis")``.
+    """
+
+    def __init__(self, identifier, config: SegmenterConfig | None = None, **overrides):
+        if config is None:
+            config = SegmenterConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        if not identifier.is_trained:
+            raise RuntimeError("identifier has not been trained; call train() first")
+        self.identifier = identifier
+        self.config = config
+        self.scorer = WindowedScorer(
+            identifier.backend,
+            window_ngrams=config.window_ngrams,
+            stride_ngrams=config.stride_ngrams,
+        )
+
+    # ------------------------------------------------------------ segmentation
+
+    def segment(self, text: str | bytes) -> SegmentationResult:
+        """Segment one document into contiguous single-language spans."""
+        text_length = len(text)
+        packed = self.identifier.extractor.extract(text)
+        scores = self.scorer.score(packed)
+        if scores.n_windows == 0:
+            # Too short for a single n-gram: label the whole document the way
+            # classify labels it (argmax of all-zero counts = first language).
+            if text_length == 0:
+                return SegmentationResult(spans=[], text_length=0, ngram_count=0, window_count=0)
+            language = self.identifier.languages[0]
+            return SegmentationResult(
+                spans=[Span(0, text_length, language, 0.0)],
+                text_length=text_length,
+                ngram_count=int(packed.size),
+                window_count=0,
+            )
+        labels = self._smooth(scores.counts)
+        spans = self._merge_runs(labels, scores, text_length)
+        return SegmentationResult(
+            spans=spans,
+            text_length=text_length,
+            ngram_count=int(packed.size),
+            window_count=scores.n_windows,
+        )
+
+    def segment_batch(self, texts) -> list[SegmentationResult]:
+        """Segment several documents (cumulative sums are per-document state)."""
+        return [self.segment(text) for text in texts]
+
+    # ------------------------------------------------------------ internals
+
+    def _smooth(self, counts: np.ndarray) -> np.ndarray:
+        if self.config.smoothing == "viterbi":
+            return viterbi_labels(counts, switch_penalty=self.config.switch_penalty)
+        if self.config.smoothing == "hysteresis":
+            return hysteresis_labels(counts, min_run=self.config.min_run_windows)
+        return np.argmax(counts, axis=1).astype(np.int64)
+
+    def _merge_runs(self, labels: np.ndarray, scores, text_length: int) -> list[Span]:
+        """Merge consecutive same-label windows into character-offset spans.
+
+        Window ``w`` owns the n-grams ``[starts[w], starts[w+1])`` (the last
+        window owns the tail), so runs of equal labels own contiguous n-gram
+        ranges; n-gram ``i`` begins at character ``i * subsample_stride``.
+        Spans tile the document: the first starts at 0, each run boundary cuts
+        at the first n-gram of the new run, and the last span ends at the
+        document length.
+        """
+        boundaries = np.flatnonzero(labels[1:] != labels[:-1]) + 1
+        run_starts = np.concatenate(([0], boundaries))
+        run_ends = np.concatenate((boundaries, [labels.size]))
+        stride = self.identifier.extractor.subsample_stride
+        single_run = run_starts.size == 1
+
+        spans: list[Span] = []
+        char_start = 0
+        for index, (first, last) in enumerate(zip(run_starts, run_ends)):
+            owned_start = int(scores.starts[first])
+            owned_end = (
+                scores.n_ngrams if last == labels.size else int(scores.starts[last])
+            )
+            counts = scores.range_counts(owned_start, owned_end)
+            if single_run:
+                # Degenerate document: label from the total counts so the
+                # single span agrees with classify() bit for bit.
+                label = int(np.argmax(counts)) if counts.size else 0
+            else:
+                label = int(labels[first])
+            char_end = (
+                text_length
+                if index == run_starts.size - 1
+                else int(scores.starts[last]) * stride
+            )
+            spans.append(
+                Span(
+                    start=char_start,
+                    end=char_end,
+                    language=scores.languages[label],
+                    confidence=_margin_confidence(counts, label),
+                )
+            )
+            char_start = char_end
+        return spans
+
+
+def _margin_confidence(counts: np.ndarray, label: int) -> float:
+    """Separation of ``label`` over its strongest rival (clamped at 0 when the
+    smoothing pass kept a label the raw counts would not pick)."""
+    top = int(counts[label])
+    others = np.delete(counts, label)
+    rival = int(others.max()) if others.size else 0
+    return normalized_separation(top, rival)

@@ -1,0 +1,114 @@
+"""Smoothing passes that turn noisy per-window winners into stable label runs.
+
+Raw per-window argmax flickers wherever two languages score close (boundary
+windows, shared boilerplate n-grams, Bloom false positives).  Two smoothers
+are provided, both consuming the ``(n_windows, n_languages)`` count matrix of
+:class:`~repro.segment.windows.WindowedScorer`:
+
+:func:`viterbi_labels`
+    Exact maximum-a-posteriori path of a simple HMM: states are languages,
+    emissions are the window's normalized per-language score shares, and every
+    language switch costs ``switch_penalty``.  A one-window blip is kept only
+    if its evidence outweighs two switches — the quality mode.
+:func:`hysteresis_labels`
+    The cheap mode: follow the per-window argmax but only commit to a switch
+    after the challenger wins ``min_run`` consecutive windows (the run is then
+    relabelled from its first window, so boundaries do not lag).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window_emissions", "viterbi_labels", "hysteresis_labels"]
+
+
+def window_emissions(counts: np.ndarray) -> np.ndarray:
+    """Per-window emission scores: each window's counts normalized to shares.
+
+    Normalizing by the window's total makes the emissions scale-invariant, so
+    the same switch penalty works for 0/1 Bloom hits and for the fixed-point
+    scores of the ``mguesser`` backend.  Windows with no evidence at all emit
+    a uniform zero row (every language equally (im)plausible).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be (n_windows, n_languages); got {counts.shape}")
+    totals = counts.sum(axis=1, keepdims=True)
+    return np.divide(counts, totals, out=np.zeros_like(counts), where=totals > 0)
+
+
+def viterbi_labels(counts: np.ndarray, switch_penalty: float = 0.35) -> np.ndarray:
+    """Most likely language index per window under a switch-penalised HMM.
+
+    Dynamic program over ``score[w, l] = emission[w, l] + max(score[w-1, l],
+    max_l' score[w-1, l'] - switch_penalty)`` — O(windows x languages), with
+    the language axis fully vectorized.  Ties prefer staying in the current
+    language, and the backward pass prefers earlier (training-order) languages,
+    mirroring the classifier's deterministic tie-break.
+
+    Parameters
+    ----------
+    counts:
+        ``(n_windows, n_languages)`` window score matrix.
+    switch_penalty:
+        Cost of one language change, in units of a window's normalized
+        emission mass (a full window of unanimous evidence scores 1.0).
+    """
+    if switch_penalty < 0:
+        raise ValueError("switch_penalty must be non-negative")
+    emissions = window_emissions(counts)
+    n_windows, n_languages = emissions.shape
+    if n_windows == 0:
+        return np.empty(0, dtype=np.int64)
+    backpointers = np.empty((n_windows, n_languages), dtype=np.int64)
+    backpointers[0] = np.arange(n_languages)
+    score = emissions[0].copy()
+    stay = np.arange(n_languages)
+    for w in range(1, n_windows):
+        best_prev = int(np.argmax(score))  # first max: training-order tie-break
+        switched = score[best_prev] - switch_penalty
+        take_switch = switched > score  # strict: ties keep the current language
+        backpointers[w] = np.where(take_switch, best_prev, stay)
+        score = np.where(take_switch, switched, score) + emissions[w]
+    labels = np.empty(n_windows, dtype=np.int64)
+    labels[-1] = int(np.argmax(score))
+    for w in range(n_windows - 1, 0, -1):
+        labels[w - 1] = backpointers[w, labels[w]]
+    return labels
+
+
+def hysteresis_labels(counts: np.ndarray, min_run: int = 2) -> np.ndarray:
+    """Per-window argmax with a ``min_run``-window confirmation before switching.
+
+    Cheaper than Viterbi (no backward pass, no emission normalisation) and
+    good enough when segments are long relative to the window stride: a
+    challenger language must win ``min_run`` consecutive windows to take over,
+    at which point its whole winning run is relabelled so the boundary lands
+    where the challenge started.
+    """
+    if min_run <= 0:
+        raise ValueError("min_run must be positive")
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be (n_windows, n_languages); got {counts.shape}")
+    raw = np.argmax(counts, axis=1).astype(np.int64)
+    n_windows = raw.size
+    labels = np.empty(n_windows, dtype=np.int64)
+    if n_windows == 0:
+        return labels
+    current = int(raw[0])
+    challenge_start = -1
+    for w in range(n_windows):
+        winner = int(raw[w])
+        if winner == current:
+            challenge_start = -1
+        else:
+            if challenge_start < 0 or int(raw[w - 1]) != winner:
+                challenge_start = w
+            if w - challenge_start + 1 >= min_run:
+                current = winner
+                labels[challenge_start:w] = current
+                challenge_start = -1
+        labels[w] = current
+    return labels

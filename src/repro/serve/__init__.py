@@ -23,8 +23,11 @@ subsystem applies the same architecture to the software engine:
     The programmatic API tying the above together with explicit backpressure
     and graceful draining shutdown (``executor="thread"|"process"``).
 :func:`~repro.serve.http.serve_http`
-    Stdlib-only JSON/HTTP front-end (``POST /classify``, ``GET /healthz``,
-    ``GET /metrics``); also exposed as ``python -m repro serve``.
+    Stdlib-only JSON/HTTP front-end (``POST /classify``, ``POST /segment``,
+    ``GET /healthz``, ``GET /metrics``); also exposed as
+    ``python -m repro serve``.  Segmentation requests flow through the same
+    cache / micro-batch / replica pipeline as classification (dedicated
+    per-replica queues, op-prefixed cache keys) under both executors.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.serve.errors import (
     ServiceOverloadedError,
     WorkerCrashedError,
 )
-from repro.serve.http import result_to_json, serve_http
+from repro.serve.http import result_to_json, segmentation_to_json, serve_http
 from repro.serve.metrics import ServiceMetrics, percentile
 from repro.serve.process_pool import ProcessReplicaPool
 from repro.serve.replicas import (
@@ -73,4 +76,5 @@ __all__ = [
     "EXECUTORS",
     "serve_http",
     "result_to_json",
+    "segmentation_to_json",
 ]

@@ -16,6 +16,7 @@ age out of the LRU naturally.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 from collections import OrderedDict
@@ -23,6 +24,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.classifier import ClassificationResult
+from repro.segment.types import SegmentationResult
 
 __all__ = ["ResultCache", "text_digest", "model_fingerprint"]
 
@@ -53,28 +55,53 @@ def model_fingerprint(identifier) -> bytes:
     return digest.digest()
 
 
-class ResultCache:
-    """Bounded LRU mapping ``digest -> ClassificationResult``.
+def _defensive_copy(result):
+    """An independent copy of a cached value (classification or segmentation).
 
-    A ``capacity`` of zero disables caching (every lookup misses, stores are
-    dropped), which lets the service keep one code path.  Hits return a fresh
-    :class:`~repro.core.classifier.ClassificationResult` with a copied
-    ``match_counts`` dict so callers can mutate their result without
-    corrupting the cached entry.
+    Both known result types get a cheap field-level copy (their leaves are
+    immutable — ints, strings, frozen ``Span`` dataclasses); anything else
+    falls back to a deep copy so callers can never mutate the cached entry
+    through shared containers.
+    """
+    if isinstance(result, ClassificationResult):
+        return ClassificationResult(
+            language=result.language,
+            match_counts=dict(result.match_counts),
+            ngram_count=result.ngram_count,
+        )
+    if isinstance(result, SegmentationResult):
+        return SegmentationResult(
+            spans=list(result.spans),
+            text_length=result.text_length,
+            ngram_count=result.ngram_count,
+            window_count=result.window_count,
+        )
+    return copy.deepcopy(result)
+
+
+class ResultCache:
+    """Bounded LRU mapping ``digest -> result``.
+
+    Stores the results of both service operations (classification and
+    segmentation — the service bakes the op name into the key).  A
+    ``capacity`` of zero disables caching (every lookup misses, stores are
+    dropped), which lets the service keep one code path.  Hits return an
+    independent copy so callers can mutate their result without corrupting
+    the cached entry.
     """
 
     def __init__(self, capacity: int = 1024):
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = int(capacity)
-        self._entries: OrderedDict[bytes, ClassificationResult] = OrderedDict()
+        self._entries: OrderedDict[bytes, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, digest: bytes) -> ClassificationResult | None:
+    def get(self, digest: bytes):
         """The cached result for ``digest``, refreshed to most-recently-used."""
         entry = self._entries.get(digest)
         if entry is None:
@@ -82,21 +109,13 @@ class ResultCache:
             return None
         self._entries.move_to_end(digest)
         self.hits += 1
-        return ClassificationResult(
-            language=entry.language,
-            match_counts=dict(entry.match_counts),
-            ngram_count=entry.ngram_count,
-        )
+        return _defensive_copy(entry)
 
-    def put(self, digest: bytes, result: ClassificationResult) -> None:
+    def put(self, digest: bytes, result) -> None:
         """Store ``result``, evicting the least-recently-used entry when full."""
         if self.capacity == 0:
             return
-        self._entries[digest] = ClassificationResult(
-            language=result.language,
-            match_counts=dict(result.match_counts),
-            ngram_count=result.ngram_count,
-        )
+        self._entries[digest] = _defensive_copy(result)
         self._entries.move_to_end(digest)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -7,6 +7,10 @@ serving stack adds no dependencies beyond NumPy.  Endpoints:
     Body ``{"text": "..."}`` → one result, or ``{"texts": ["...", ...]}`` →
     ``{"results": [...]}``.  Rejections map onto status codes: 413 for
     oversized documents, 429 for backpressure, 503 while shutting down.
+``POST /segment``
+    Same body contract, but each result is a mixed-language segmentation:
+    the document tiled into ``spans`` of ``{start, end, language,
+    confidence}`` (see :mod:`repro.segment`).
 ``GET /healthz``
     Service topology and status (JSON).
 ``GET /metrics``
@@ -23,6 +27,7 @@ import asyncio
 import json
 
 from repro.core.classifier import ClassificationResult
+from repro.segment.types import segmentation_to_json
 from repro.serve.errors import (
     RequestTooLargeError,
     ServiceClosedError,
@@ -30,7 +35,7 @@ from repro.serve.errors import (
 )
 from repro.serve.service import ClassificationService
 
-__all__ = ["serve_http", "result_to_json", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = ["serve_http", "result_to_json", "segmentation_to_json", "DEFAULT_MAX_BODY_BYTES"]
 
 _MAX_HEADER_BYTES = 16 * 1024
 
@@ -57,34 +62,47 @@ def result_to_json(result: ClassificationResult) -> dict:
         "match_counts": result.match_counts,
         "ngram_count": result.ngram_count,
         "margin": result.margin,
+        "confidence": result.confidence,
     }
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str, close_connection: bool = False):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        close_connection: bool = False,
+        headers: dict | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
         # set when the request body was left unread, so the connection's byte
         # stream is no longer aligned with request boundaries
         self.close_connection = close_connection
+        # extra response headers (e.g. the Allow header RFC 9110 requires on 405)
+        self.headers = headers or {}
 
 
-def _encode_response(status: int, body: bytes, content_type: str) -> bytes:
+def _encode_response(
+    status: int, body: bytes, content_type: str, headers: dict | None = None
+) -> bytes:
     reason = _REASONS.get(status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: keep-alive\r\n"
         "\r\n"
     )
     return head.encode("ascii") + body
 
 
-def _json_response(status: int, payload: dict) -> bytes:
+def _json_response(status: int, payload: dict, headers: dict | None = None) -> bytes:
     return _encode_response(
-        status, json.dumps(payload).encode("utf-8"), "application/json"
+        status, json.dumps(payload).encode("utf-8"), "application/json", headers
     )
 
 
@@ -130,43 +148,64 @@ async def _read_request(reader: asyncio.StreamReader, max_body_bytes: int):
     return method.upper(), path, query, body
 
 
+def _parse_document_body(body: bytes, path: str):
+    """Parse a ``{"text": ...}`` / ``{"texts": [...]}`` body; 400 on anything else.
+
+    Every malformed shape — undecodable bytes, invalid JSON, and valid JSON
+    that is not an object (list, string, number, ``null``) — maps to 400, so
+    a client bug can never surface as a 500.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, f"invalid JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise _HttpError(
+            400, f"body must be a JSON object, got {type(payload).__name__}"
+        )
+    if "texts" in payload:
+        texts = payload["texts"]
+        if not isinstance(texts, list) or not all(isinstance(t, str) for t in texts):
+            raise _HttpError(400, '"texts" must be a list of strings')
+        return None, texts
+    text = payload.get("text")
+    if not isinstance(text, str):
+        raise _HttpError(
+            400, f'body must contain "text" (string) or "texts" (list) for {path}'
+        )
+    return text, None
+
+
 async def _dispatch(service: ClassificationService, method, path, query, body) -> bytes:
     if path == "/healthz":
         if method != "GET":
-            raise _HttpError(405, "use GET for /healthz")
+            raise _HttpError(405, "use GET for /healthz", headers={"Allow": "GET"})
         return _json_response(200, service.describe())
     if path == "/metrics":
         if method != "GET":
-            raise _HttpError(405, "use GET for /metrics")
+            raise _HttpError(405, "use GET for /metrics", headers={"Allow": "GET"})
         if "format=text" in query:
             return _encode_response(
                 200, service.metrics.render_text().encode("utf-8"), "text/plain"
             )
         return _json_response(200, service.metrics.snapshot())
-    if path == "/classify":
+    if path in ("/classify", "/segment"):
         if method != "POST":
-            raise _HttpError(405, "use POST for /classify")
+            raise _HttpError(405, f"use POST for {path}", headers={"Allow": "POST"})
+        text, texts = _parse_document_body(body, path)
+        to_json = result_to_json if path == "/classify" else segmentation_to_json
         try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpError(400, f"invalid JSON body: {exc}") from None
-        if not isinstance(payload, dict):
-            raise _HttpError(400, "body must be a JSON object")
-        try:
-            if "texts" in payload:
-                texts = payload["texts"]
-                if not isinstance(texts, list) or not all(
-                    isinstance(t, str) for t in texts
-                ):
-                    raise _HttpError(400, '"texts" must be a list of strings')
-                results = await service.classify_many(texts)
-                return _json_response(
-                    200, {"results": [result_to_json(r) for r in results]}
-                )
-            text = payload.get("text")
-            if not isinstance(text, str):
-                raise _HttpError(400, 'body must contain "text" (string) or "texts" (list)')
-            return _json_response(200, result_to_json(await service.classify(text)))
+            if texts is not None:
+                if path == "/classify":
+                    results = await service.classify_many(texts)
+                else:
+                    results = await service.segment_many(texts)
+                return _json_response(200, {"results": [to_json(r) for r in results]})
+            if path == "/classify":
+                result = await service.classify(text)
+            else:
+                result = await service.segment(text)
+            return _json_response(200, to_json(result))
         except RequestTooLargeError as exc:
             raise _HttpError(413, str(exc)) from None
         except ServiceOverloadedError as exc:
@@ -191,7 +230,7 @@ def make_connection_handler(
                         break
                     response = await _dispatch(service, *request)
                 except _HttpError as exc:
-                    response = _json_response(exc.status, {"error": exc.message})
+                    response = _json_response(exc.status, {"error": exc.message}, exc.headers)
                     must_close = exc.close_connection
                 except Exception as exc:  # noqa: BLE001 - keep the connection alive
                     response = _json_response(500, {"error": f"internal error: {exc}"})

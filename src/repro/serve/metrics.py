@@ -49,6 +49,7 @@ class ServiceMetrics:
         self.started_at = clock()
         self.requests_total = 0
         self.responses_total = 0
+        self.segment_requests_total = 0
         self.cache_hits = 0
         self.rejected_overload = 0
         self.rejected_too_large = 0
@@ -61,11 +62,15 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------ recording
 
-    def record_request(self, n_bytes: int) -> None:
+    def record_request(self, n_bytes: int, kind: str = "classify") -> None:
         """Count one *admitted* request (rejections go to :meth:`record_rejection`,
-        so ``requests_total + rejected_* `` is the total arrival count)."""
+        so ``requests_total + rejected_* `` is the total arrival count).
+        ``kind="segment"`` additionally ticks the segmentation counter, so
+        ``requests_total`` stays the overall admitted volume."""
         self.requests_total += 1
         self.bytes_total += int(n_bytes)
+        if kind == "segment":
+            self.segment_requests_total += 1
 
     def record_response(self, latency_seconds: float, cached: bool = False) -> None:
         self.responses_total += 1
@@ -123,6 +128,7 @@ class ServiceMetrics:
             "uptime_seconds": self.uptime_seconds,
             "requests_total": self.requests_total,
             "responses_total": self.responses_total,
+            "segment_requests_total": self.segment_requests_total,
             "cache_hits": self.cache_hits,
             "rejected_overload": self.rejected_overload,
             "rejected_too_large": self.rejected_too_large,
@@ -147,6 +153,7 @@ class ServiceMetrics:
             "uptime_seconds",
             "requests_total",
             "responses_total",
+            "segment_requests_total",
             "cache_hits",
             "rejected_overload",
             "rejected_too_large",

@@ -14,8 +14,9 @@ Topology per worker:
 * a ``spawn``-context :class:`multiprocessing.Process` running
   :func:`_worker_main` (spawn keeps workers free of inherited locks/threads,
   so a crashing or forking parent cannot wedge them);
-* a duplex :class:`multiprocessing.Pipe` carrying ``("classify", texts)`` /
-  ``("ok", results)`` frames — documents cross the pipe, the model never does;
+* a duplex :class:`multiprocessing.Pipe` carrying ``("classify", texts)`` or
+  ``("segment", texts)`` / ``("ok", results)`` frames — documents cross the
+  pipe, the model never does;
 * a single-thread dispatcher executor that performs the blocking pipe
   round-trip off the event loop, preserving the one-in-flight-batch-per-replica
   discipline of the thread tier.
@@ -70,11 +71,14 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
             kind, payload = frame
             if kind == "stop":
                 break
-            if kind != "classify":  # pragma: no cover - protocol guard
+            if kind not in ("classify", "segment"):  # pragma: no cover - protocol guard
                 conn.send(("error", f"unknown frame kind {kind!r}"))
                 continue
             try:
-                results = identifier.classify_batch(payload)
+                if kind == "segment":
+                    results = [identifier.segment(text) for text in payload]
+                else:
+                    results = identifier.classify_batch(payload)
                 conn.send(("ok", results))
             except Exception as exc:  # noqa: BLE001 - must cross the pipe
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -205,13 +209,13 @@ class ProcessReplicaPool(ReplicaPoolBase):
             )
         worker.ready = True
 
-    def _call(self, index: int, texts: list) -> list[ClassificationResult]:
+    def _call(self, index: int, op: str, texts: list) -> list:
         """One blocking request/response round-trip (runs on a dispatcher thread)."""
         worker = self._workers[index]
         try:
             self._ensure_ready(worker)
             try:
-                worker.conn.send(("classify", texts))
+                worker.conn.send((op, texts))
             except (BrokenPipeError, OSError) as exc:
                 raise WorkerCrashedError(
                     f"replica worker {index} pipe is broken (worker died?)"
@@ -223,7 +227,7 @@ class ProcessReplicaPool(ReplicaPoolBase):
                     self._respawn(index)
             raise
         if kind == "error":
-            raise RuntimeError(f"replica worker {index} failed to classify: {payload}")
+            raise RuntimeError(f"replica worker {index} failed to {op}: {payload}")
         return payload
 
     # ------------------------------------------------------------ classification
@@ -236,7 +240,16 @@ class ProcessReplicaPool(ReplicaPoolBase):
             raise RuntimeError("replica pool is closed")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._dispatchers[replica_index], self._call, replica_index, list(texts)
+            self._dispatchers[replica_index], self._call, replica_index, "classify", list(texts)
+        )
+
+    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+        """Run one worker's windowed segmentation over a batch off the event loop."""
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._dispatchers[replica_index], self._call, replica_index, "segment", list(texts)
         )
 
     # ------------------------------------------------------------ lifecycle

@@ -105,6 +105,10 @@ class ReplicaPoolBase:
     ) -> list[ClassificationResult]:
         raise NotImplementedError
 
+    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+        """Segment a batch of documents on one replica (mixed-language spans)."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release every execution resource (may block; idempotent)."""
         raise NotImplementedError
@@ -145,6 +149,17 @@ class ThreadReplicaPool(ReplicaPoolBase):
         executor = self._executors[replica_index]
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(executor, replica.classify_batch, list(texts))
+
+    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+        """Run one replica's windowed segmentation over a batch in its thread."""
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        replica = self.replicas[replica_index]
+        executor = self._executors[replica_index]
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, lambda: [replica.segment(text) for text in texts]
+        )
 
     # ------------------------------------------------------------ lifecycle
 

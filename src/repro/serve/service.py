@@ -147,6 +147,7 @@ class ClassificationService:
         self._fingerprint = model_fingerprint(model)
         self._pool: ReplicaPoolBase | None = None
         self._batchers: list[MicroBatcher] = []
+        self._segment_batchers: list[MicroBatcher] = []
         self._started = False
         self._closing = False
 
@@ -169,7 +170,11 @@ class ClassificationService:
         else:
             self._pool = ThreadReplicaPool(self.identifier, self.config.replicas)
         self._batchers = []
+        self._segment_batchers = []
         for replica_index in range(self.config.replicas):
+            # Classification and segmentation each get their own queue per
+            # replica so one workload's deadline flushes never carry the
+            # other's requests; both drain through the same replica engine.
             batcher = MicroBatcher(
                 self._make_flush(replica_index),
                 max_batch=self.config.max_batch,
@@ -178,6 +183,14 @@ class ClassificationService:
             )
             batcher.start()
             self._batchers.append(batcher)
+            segment_batcher = MicroBatcher(
+                self._make_segment_flush(replica_index),
+                max_batch=self.config.max_batch,
+                max_delay=self.config.max_delay_ms / 1e3,
+                max_pending=self.config.max_pending,
+            )
+            segment_batcher.start()
+            self._segment_batchers.append(segment_batcher)
         self._started = True
         self._closing = False
         return self
@@ -187,7 +200,7 @@ class ClassificationService:
         if not self._started or self._closing:
             return
         self._closing = True
-        for batcher in self._batchers:
+        for batcher in (*self._batchers, *self._segment_batchers):
             await batcher.close()
         if self._pool is not None:
             # Pool shutdown blocks (joins threads or worker processes); keep
@@ -210,13 +223,54 @@ class ClassificationService:
 
         return flush
 
+    def _make_segment_flush(self, replica_index: int):
+        async def flush(texts: Sequence[str | bytes]) -> Sequence:
+            self.metrics.record_batch(len(texts))
+            return await self._pool.segment_batch(replica_index, texts)
+
+        return flush
+
     def _document_bytes(self, text: str | bytes) -> int:
         return len(text) if isinstance(text, (bytes, bytearray)) else len(text.encode("utf-8"))
 
-    def _pick_batcher(self, digest: bytes) -> MicroBatcher:
+    def _pick_batcher(self, batchers: list[MicroBatcher], digest: bytes) -> MicroBatcher:
         if self.config.sharding == "hash":
-            return self._batchers[self._pool.shard_for(digest)]
-        return self._batchers[self._pool.next_round_robin()]
+            return batchers[self._pool.shard_for(digest)]
+        return batchers[self._pool.next_round_robin()]
+
+    async def _submit(self, text: str | bytes, batchers: list[MicroBatcher], kind: str):
+        """The shared admission pipeline: size check, cache, micro-batch, record."""
+        if not self.is_running:
+            raise ServiceClosedError("service is not running; use 'async with' or start()")
+        n_bytes = self._document_bytes(text)
+        if n_bytes > self.config.max_document_bytes:
+            self.metrics.record_rejection("too-large")
+            raise RequestTooLargeError(
+                f"document of {n_bytes} bytes exceeds the "
+                f"{self.config.max_document_bytes}-byte limit"
+            )
+        start = time.perf_counter()
+        digest = text_digest(text)
+        # The op name is baked into the key so a classify result can never be
+        # replayed for a segment request (and vice versa) on the shared cache.
+        cache_key = self._fingerprint + kind.encode("ascii") + b":" + digest
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            self.metrics.record_request(n_bytes, kind=kind)
+            self.metrics.record_response(time.perf_counter() - start, cached=True)
+            return cached
+        try:
+            future = self._pick_batcher(batchers, digest).submit_nowait(text)
+        except ServiceOverloadedError:
+            self.metrics.record_rejection("overload")
+            raise
+        # admitted: requests_total / bytes_total count only documents the
+        # service accepted, so rejections never inflate throughput_mb_s
+        self.metrics.record_request(n_bytes, kind=kind)
+        result = await future
+        self.cache.put(cache_key, result)
+        self.metrics.record_response(time.perf_counter() - start)
+        return result
 
     async def classify(self, text: str | bytes) -> ClassificationResult:
         """Classify one document through the cache + micro-batch pipeline.
@@ -230,39 +284,27 @@ class ClassificationService:
         ServiceOverloadedError
             If the target replica's queue is full (backpressure).
         """
-        if not self.is_running:
-            raise ServiceClosedError("service is not running; use 'async with' or start()")
-        n_bytes = self._document_bytes(text)
-        if n_bytes > self.config.max_document_bytes:
-            self.metrics.record_rejection("too-large")
-            raise RequestTooLargeError(
-                f"document of {n_bytes} bytes exceeds the "
-                f"{self.config.max_document_bytes}-byte limit"
-            )
-        start = time.perf_counter()
-        digest = text_digest(text)
-        cache_key = self._fingerprint + digest
-        cached = self.cache.get(cache_key)
-        if cached is not None:
-            self.metrics.record_request(n_bytes)
-            self.metrics.record_response(time.perf_counter() - start, cached=True)
-            return cached
-        try:
-            future = self._pick_batcher(digest).submit_nowait(text)
-        except ServiceOverloadedError:
-            self.metrics.record_rejection("overload")
-            raise
-        # admitted: requests_total / bytes_total count only documents the
-        # service accepted, so rejections never inflate throughput_mb_s
-        self.metrics.record_request(n_bytes)
-        result = await future
-        self.cache.put(cache_key, result)
-        self.metrics.record_response(time.perf_counter() - start)
-        return result
+        return await self._submit(text, self._batchers, "classify")
 
     async def classify_many(self, texts: Sequence[str | bytes]) -> list[ClassificationResult]:
         """Classify several documents concurrently (one result per input, in order)."""
         return list(await asyncio.gather(*(self.classify(text) for text in texts)))
+
+    async def segment(self, text: str | bytes):
+        """Segment one mixed-language document into single-language spans.
+
+        Shares the classification pipeline end to end — cache (op-prefixed
+        keys), micro-batching (a dedicated per-replica queue), replica pools
+        under both executors, and the same rejection contract
+        (:class:`ServiceClosedError` / :class:`RequestTooLargeError` /
+        :class:`ServiceOverloadedError`).  Returns a
+        :class:`~repro.segment.types.SegmentationResult`.
+        """
+        return await self._submit(text, self._segment_batchers, "segment")
+
+    async def segment_many(self, texts: Sequence[str | bytes]) -> list:
+        """Segment several documents concurrently (one result per input, in order)."""
+        return list(await asyncio.gather(*(self.segment(text) for text in texts)))
 
     # ------------------------------------------------------------ introspection
 
@@ -286,5 +328,6 @@ class ClassificationService:
         }
         if self._pool is not None:
             info["pending"] = [len(batcher) for batcher in self._batchers]
+            info["segment_pending"] = [len(batcher) for batcher in self._segment_batchers]
             info["pool"] = self._pool.describe()
         return info

@@ -16,12 +16,14 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in (
-            "generate-corpus", "train", "classify", "evaluate", "sweep", "tables", "serve"
+            "generate-corpus", "train", "classify", "segment", "evaluate", "sweep",
+            "tables", "serve"
         ):
             args = {
                 "generate-corpus": ["generate-corpus", "--output", "x"],
                 "train": ["train", "--corpus", "c", "--output", "o"],
                 "classify": ["classify", "--model", "m", "file.txt"],
+                "segment": ["segment", "--model", "m", "file.txt"],
                 "evaluate": ["evaluate"],
                 "sweep": ["sweep"],
                 "tables": ["tables"],
@@ -29,6 +31,15 @@ class TestParser:
             }[command]
             parsed = parser.parse_args(args)
             assert parsed.command == command
+
+    def test_segment_smoothing_choices(self):
+        parser = build_parser()
+        parsed = parser.parse_args(
+            ["segment", "--model", "m", "--smoothing", "hysteresis", "f.txt"]
+        )
+        assert parsed.smoothing == "hysteresis"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["segment", "--model", "m", "--smoothing", "nope", "f.txt"])
 
     def test_languages_strip_whitespace(self):
         parsed = build_parser().parse_args(["evaluate", "--languages", " en, fr "])
@@ -103,6 +114,59 @@ class TestEndToEndCLI:
         assert main(["classify", "--model", str(model_path), "-"]) == 0
         output = capsys.readouterr().out
         assert output.startswith("<stdin>: fr")
+
+    def test_classify_reports_confidence(self, trained_model, capsys):
+        corpus_dir, model_path = trained_model
+        en_file = sorted((corpus_dir / "en").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(["classify", "--model", str(model_path), str(en_file)]) == 0
+        line = capsys.readouterr().out.splitlines()[-1]
+        assert "confidence=" in line
+        value = float(line.split("confidence=")[1].split()[0])
+        assert 0.0 <= value <= 1.0
+
+    def test_segment_mixed_file_human_output(self, trained_model, capsys, tmp_path):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        _, model_path = trained_model
+        mixed = MixedDocumentGenerator(("en", "fr"), seed=8, words_per_segment=100).generate(0)
+        mixed_file = tmp_path / "mixed.txt"
+        mixed_file.write_text(mixed.text, encoding="latin-1")
+        capsys.readouterr()
+        assert main(["segment", "--model", str(model_path), str(mixed_file)]) == 0
+        output = capsys.readouterr().out
+        assert "span(s), dominant=" in output.splitlines()[0]
+        assert "confidence=" in output
+
+    def test_segment_json_output_tiles_document(self, trained_model, capsys, tmp_path):
+        import json
+
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        _, model_path = trained_model
+        mixed = MixedDocumentGenerator(("en", "fr"), seed=9, words_per_segment=100).generate(1)
+        mixed_file = tmp_path / "mixed.txt"
+        mixed_file.write_text(mixed.text, encoding="latin-1")
+        capsys.readouterr()
+        assert main(
+            ["segment", "--model", str(model_path), "--json",
+             "--smoothing", "hysteresis", str(mixed_file)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == str(mixed_file)
+        spans = payload["spans"]
+        assert spans[0]["start"] == 0 and spans[-1]["end"] == len(mixed.text)
+        for left, right in zip(spans, spans[1:]):
+            assert left["end"] == right["start"]
+
+    def test_segment_reads_stdin(self, trained_model, capsys, monkeypatch):
+        corpus_dir, model_path = trained_model
+        fr_text = sorted((corpus_dir / "fr").glob("*.txt"))[0].read_text(encoding="latin-1")
+        monkeypatch.setattr("sys.stdin", io.StringIO(fr_text))
+        capsys.readouterr()
+        assert main(["segment", "--model", str(model_path), "-"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("<stdin>: 1 span(s), dominant=fr")
 
     def test_model_artifact_is_versioned_npz(self, trained_model):
         import json

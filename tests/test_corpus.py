@@ -98,6 +98,141 @@ class TestDocumentGenerator:
         assert first_sentence[0].isupper() or first_sentence[0].isdigit()
         assert doc.count(".") >= 3
 
+    def test_document_shorter_than_ngram_order_extracts_safely(self):
+        # a one-word document can be shorter than n=4 characters; the n-gram
+        # pipeline must yield zero n-grams rather than fail
+        from repro.core.ngram import NGramExtractor
+
+        gen = DocumentGenerator("en", seed=2)
+        doc = gen.generate_document(n_words=1)
+        assert doc  # still produces *something*
+        tiny = doc.split()[0][:2]  # guaranteed shorter than a 4-gram
+        assert NGramExtractor(n=4).extract(tiny).size == 0
+
+    def test_zero_words_requested(self):
+        gen = DocumentGenerator("en", seed=2)
+        rng = gen._rng_for_document(0)
+        assert gen.generate_words(0, rng) == []
+        assert gen.generate_words(-3, rng) == []
+        assert gen.generate_document(n_words=0) == ""
+
+    def test_generate_documents_zero_count(self):
+        assert DocumentGenerator("en", seed=0).generate_documents(0) == []
+        with pytest.raises(ValueError):
+            DocumentGenerator("en", seed=0).generate_documents(-1)
+
+    def test_rng_for_document_deterministic_across_instances(self):
+        # the per-document rng must depend only on (language, seed, index) so
+        # that profiles trained in one process match documents generated in
+        # another (the shared-memory replica workers rely on this)
+        a = DocumentGenerator("pt", seed=13)
+        b = DocumentGenerator("pt", seed=13)
+        for index in (0, 1, 77):
+            assert (
+                a._rng_for_document(index).integers(0, 2**32, 8).tolist()
+                == b._rng_for_document(index).integers(0, 2**32, 8).tolist()
+            )
+        # ... and differ across languages, seeds and indices
+        c = DocumentGenerator("es", seed=13)
+        d = DocumentGenerator("pt", seed=14)
+        draws = a._rng_for_document(5).integers(0, 2**32, 8).tolist()
+        assert draws != c._rng_for_document(5).integers(0, 2**32, 8).tolist()
+        assert draws != d._rng_for_document(5).integers(0, 2**32, 8).tolist()
+        assert draws != a._rng_for_document(6).integers(0, 2**32, 8).tolist()
+
+
+class TestMixedDocumentGenerator:
+    LANGS = ("en", "fr", "fi", "es")
+
+    def test_segments_tile_the_text(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        gen = MixedDocumentGenerator(self.LANGS, seed=4)
+        for index in range(6):
+            mixed = gen.generate(index)
+            assert mixed.segments[0].start == 0
+            assert mixed.segments[-1].end == len(mixed.text)
+            for left, right in zip(mixed.segments, mixed.segments[1:]):
+                assert left.end == right.start
+                assert left.language != right.language
+
+    def test_segment_count_and_length_bounds(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        gen = MixedDocumentGenerator(
+            self.LANGS, seed=9, segments_range=(2, 4), words_per_segment=90
+        )
+        for mixed in gen.generate_many(8):
+            assert 2 <= len(mixed.segments) <= 4
+            assert all(len(segment) >= 400 for segment in mixed.segments)
+
+    def test_deterministic_across_instances(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        a = MixedDocumentGenerator(self.LANGS, seed=21).generate(3)
+        b = MixedDocumentGenerator(self.LANGS, seed=21).generate(3)
+        assert a == b
+        assert MixedDocumentGenerator(self.LANGS, seed=22).generate(3) != a
+
+    def test_avoids_related_adjacent_languages(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        gen = MixedDocumentGenerator(("es", "pt", "en"), seed=1, segments_range=(3, 5))
+        for mixed in gen.generate_many(10):
+            for left, right in zip(mixed.languages, mixed.languages[1:]):
+                assert {left, right} != {"es", "pt"}
+
+    def test_lone_confusable_pair_rejected_unless_opted_out(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        # a set of exactly one sibling pair cannot honour the never-adjacent
+        # guarantee: constructing it must fail loudly, not degrade silently
+        with pytest.raises(ValueError, match="avoid_related_adjacent"):
+            MixedDocumentGenerator(("es", "pt"), seed=1)
+        gen = MixedDocumentGenerator(("es", "pt"), seed=1, avoid_related_adjacent=False)
+        mixed = gen.generate(0)
+        assert set(mixed.languages) <= {"es", "pt"}
+
+    def test_segment_content_unique_across_documents(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        gen = MixedDocumentGenerator(
+            ("en", "fr"), seed=6, segments_range=(2, 3), words_per_segment=60
+        )
+        seen: set[str] = set()
+        for mixed in gen.generate_many(6):
+            for segment in mixed.segments:
+                piece = mixed.text[segment.start : segment.end]
+                assert piece not in seen
+                seen.add(piece)
+
+    def test_label_at_and_boundaries(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        mixed = MixedDocumentGenerator(self.LANGS, seed=2).generate(0)
+        assert mixed.label_at(0) == mixed.segments[0].language
+        assert mixed.label_at(len(mixed.text) - 1) == mixed.segments[-1].language
+        assert mixed.label_at(len(mixed.text)) is None
+        assert mixed.boundaries == [s.end for s in mixed.segments[:-1]]
+
+    def test_validation(self):
+        from repro.corpus.generator import MixedDocumentGenerator
+
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(("en",))
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(("en", "xx"))
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(self.LANGS, segments_range=(0, 3))
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(self.LANGS, segments_range=(3, 2))
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(self.LANGS, words_per_segment=0)
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(self.LANGS, words_jitter=1.0)
+        with pytest.raises(ValueError):
+            MixedDocumentGenerator(self.LANGS).generate_many(-1)
+
 
 class TestSyntheticCorpusBuilder:
     def test_build_shape(self):

@@ -31,22 +31,25 @@ class _Client:
         self.reader = reader
         self.writer = writer
 
-    async def request(self, method, path, payload=None):
+    async def request_full(self, method, path, payload=None):
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
         head = f"{method} {path} HTTP/1.1\r\nContent-Length: {len(body)}\r\n\r\n"
         self.writer.write(head.encode("ascii") + body)
         await self.writer.drain()
         status_line = (await self.reader.readline()).decode("ascii")
         status = int(status_line.split(" ", 2)[1])
-        content_length = 0
+        headers = {}
         while True:
             line = (await self.reader.readline()).decode("ascii").strip()
             if not line:
                 break
             name, _sep, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                content_length = int(value)
-        raw = await self.reader.readexactly(content_length)
+            headers[name.strip().lower()] = value.strip()
+        raw = await self.reader.readexactly(int(headers.get("content-length", 0)))
+        return status, headers, raw
+
+    async def request(self, method, path, payload=None):
+        status, _headers, raw = await self.request_full(method, path, payload)
         return status, raw
 
     async def request_json(self, method, path, payload=None):
@@ -86,7 +89,14 @@ class TestClassifyEndpoint:
         status, payload = run_with_server(identifier, scenario)
         assert status == 200
         assert payload["language"] in identifier.languages
-        assert set(payload) == {"language", "match_counts", "ngram_count", "margin"}
+        assert set(payload) == {
+            "language",
+            "match_counts",
+            "ngram_count",
+            "margin",
+            "confidence",
+        }
+        assert 0.0 <= payload["confidence"] <= 1.0
         direct = identifier.classify("quel est ce document ?")
         assert payload["match_counts"] == direct.match_counts
 
@@ -144,12 +154,31 @@ class TestClassifyEndpoint:
         status, payload, rejected = run_with_server(identifier, scenario, config)
         assert status == 413 and "error" in payload and rejected == 1
 
-    def test_get_classify_is_405(self, identifier):
+    @pytest.mark.parametrize("body", [[1, 2, 3], "just a string", 42])
+    def test_non_dict_json_body_is_400(self, identifier, body):
         async def scenario(client, _service):
-            status, _body = await client.request_json("GET", "/classify")
-            return status
+            return await client.request_full("POST", "/classify", body)
 
-        assert run_with_server(identifier, scenario) == 405
+        status, _headers, raw = run_with_server(identifier, scenario)
+        assert status == 400
+        assert "JSON object" in json.loads(raw)["error"]
+
+    @pytest.mark.parametrize(
+        "method,path,allow",
+        [
+            ("GET", "/classify", "POST"),
+            ("GET", "/segment", "POST"),
+            ("POST", "/healthz", "GET"),
+            ("POST", "/metrics", "GET"),
+        ],
+    )
+    def test_405_carries_allow_header(self, identifier, method, path, allow):
+        async def scenario(client, _service):
+            return await client.request_full(method, path, {})
+
+        status, headers, _raw = run_with_server(identifier, scenario)
+        assert status == 405
+        assert headers.get("allow") == allow
 
     def test_unknown_path_is_404(self, identifier):
         async def scenario(client, _service):
@@ -157,6 +186,71 @@ class TestClassifyEndpoint:
             return status
 
         assert run_with_server(identifier, scenario) == 404
+
+
+class TestSegmentEndpoint:
+    def test_single_document_spans_tile_text(self, identifier):
+        text = "the quick brown fox " * 20
+
+        async def scenario(client, _service):
+            return await client.request_json("POST", "/segment", {"text": text})
+
+        status, payload = run_with_server(identifier, scenario)
+        assert status == 200
+        assert set(payload) == {
+            "spans",
+            "languages",
+            "dominant_language",
+            "text_length",
+            "ngram_count",
+            "window_count",
+        }
+        assert payload["text_length"] == len(text)
+        spans = payload["spans"]
+        assert spans[0]["start"] == 0 and spans[-1]["end"] == len(text)
+        for left, right in zip(spans, spans[1:]):
+            assert left["end"] == right["start"]
+        direct = identifier.segment(text)
+        assert [s["language"] for s in spans] == [s.language for s in direct.spans]
+
+    def test_batched_documents(self, identifier):
+        texts = ["hello there my friend " * 10, "quel est ce document la " * 10]
+
+        async def scenario(client, _service):
+            return await client.request_json("POST", "/segment", {"texts": texts})
+
+        status, payload = run_with_server(identifier, scenario)
+        assert status == 200
+        assert len(payload["results"]) == 2
+        for text, result in zip(texts, payload["results"]):
+            assert result["text_length"] == len(text)
+
+    def test_invalid_payload_is_400(self, identifier):
+        async def scenario(client, _service):
+            status, _body = await client.request_json("POST", "/segment", {"text": 42})
+            return status
+
+        assert run_with_server(identifier, scenario) == 400
+
+    def test_oversized_document_is_413(self, identifier):
+        config = ServeConfig(max_document_bytes=32, max_delay_ms=1.0)
+
+        async def scenario(client, _service):
+            status, _body = await client.request_json(
+                "POST", "/segment", {"text": "y" * 64}
+            )
+            return status
+
+        assert run_with_server(identifier, scenario, config) == 413
+
+    def test_segment_requests_counted_separately(self, identifier):
+        async def scenario(client, service):
+            await client.request_json("POST", "/segment", {"text": "some text here"})
+            await client.request_json("POST", "/classify", {"text": "some text here"})
+            return service.metrics.segment_requests_total, service.metrics.requests_total
+
+        segment_total, total = run_with_server(identifier, scenario)
+        assert segment_total == 1 and total == 2
 
 
 class TestHealthAndMetrics:

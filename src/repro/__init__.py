@@ -37,6 +37,12 @@ The package is organised as a set of substrates plus the paper's core contributi
     the vectorized Bloom hot path plus Viterbi/hysteresis smoothing, turning
     code-switched documents into labelled ``Span`` runs (also served as
     ``POST /segment`` and ``repro segment``).
+``repro.eval``
+    The robustness measurement layer: seeded noise channels swept over a
+    backend × scenario × document-length matrix (``repro evaluate``,
+    ``LanguageIdentifier.evaluate``), reliability-bin confidence calibration
+    with ECE, and the tolerance-aware golden regression harness that pins
+    per-cell accuracy in tier-1.
 
 Quickstart
 ----------

@@ -11,6 +11,15 @@ Everything here evaluates *whole-document* labels.  For mixed-language
 :mod:`repro.segment` to label spans instead, and score span-level accuracy /
 boundary F1 against :class:`~repro.corpus.generator.MixedDocument` ground
 truth (see ``benchmarks/test_segment.py``).
+
+Reports also record each prediction's raw confidence
+(:attr:`~repro.core.classifier.ClassificationResult.confidence`) next to its
+correctness, which is what :mod:`repro.eval.calibration` turns into reliability
+bins, expected calibration error and a fitted calibrator — accuracy says how
+often the classifier is right, calibration says whether its confidence *means*
+anything.  The robustness evaluation matrix
+(:func:`repro.eval.matrix.run_matrix`, ``repro evaluate``) sweeps these reports
+over noise scenarios and document lengths.
 """
 
 from __future__ import annotations
@@ -21,7 +30,12 @@ import numpy as np
 
 from repro.corpus.corpus import Corpus
 
-__all__ = ["AccuracyReport", "evaluate_classifier", "confusion_pairs"]
+__all__ = [
+    "AccuracyReport",
+    "evaluate_classifier",
+    "evaluate_classifier_batch",
+    "confusion_pairs",
+]
 
 
 @dataclass
@@ -32,6 +46,11 @@ class AccuracyReport:
     confusion: np.ndarray
     per_language_accuracy: dict[str, float]
     misclassified: list[tuple[str, str, str]] = field(default_factory=list)
+    #: per-document raw confidence values, aligned with :attr:`correct_mask`
+    #: (empty when the classifier under evaluation exposes no confidence)
+    confidences: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    #: per-document correctness flags, aligned with :attr:`confidences`
+    correct_mask: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
 
     @property
     def average_accuracy(self) -> float:
@@ -60,6 +79,11 @@ class AccuracyReport:
             return 0.0
         return max(self.per_language_accuracy.values())
 
+    @property
+    def mean_confidence(self) -> float:
+        """Mean raw prediction confidence (0.0 when no confidences were recorded)."""
+        return float(self.confidences.mean()) if self.confidences.size else 0.0
+
     def confusion_as_dict(self) -> dict[tuple[str, str], int]:
         """Sparse dictionary view of the off-diagonal confusion counts."""
         pairs = {}
@@ -85,24 +109,52 @@ def evaluate_classifier(classifier, corpus: Corpus, record_misclassified: bool =
     span labels from :meth:`repro.api.identifier.LanguageIdentifier.segment`
     instead.
     """
+    outcomes = (classifier.classify_text(document.text) for document in corpus)
+    return _tabulate(corpus, outcomes, record_misclassified)
+
+
+def evaluate_classifier_batch(
+    identifier, corpus: Corpus, record_misclassified: bool = True
+) -> AccuracyReport:
+    """Like :func:`evaluate_classifier`, but through the vectorized batch path.
+
+    ``identifier`` needs ``classify_batch`` (the
+    :class:`~repro.api.identifier.LanguageIdentifier` facade and the serving
+    replicas both have it): the whole corpus is hashed once per hash function
+    and tested against every language's stacked bit-vectors, which is what lets
+    the evaluation matrix (:mod:`repro.eval`) sweep backend × scenario × length
+    grids in seconds rather than minutes.
+    """
+    outcomes = identifier.classify_batch([document.text for document in corpus])
+    return _tabulate(corpus, outcomes, record_misclassified)
+
+
+def _tabulate(corpus: Corpus, outcomes, record_misclassified: bool) -> AccuracyReport:
+    """Fold per-document outcomes (result objects or language strings) into a report."""
     languages = corpus.languages
     index = {language: i for i, language in enumerate(languages)}
     confusion = np.zeros((len(languages), len(languages)), dtype=np.int64)
     misclassified: list[tuple[str, str, str]] = []
     totals = {language: 0 for language in languages}
     correct = {language: 0 for language in languages}
-    for document in corpus:
-        outcome = classifier.classify_text(document.text)
+    confidences: list[float] = []
+    correct_flags: list[bool] = []
+    for document, outcome in zip(corpus, outcomes):
         predicted = outcome if isinstance(outcome, str) else outcome.language
+        confidence = getattr(outcome, "confidence", None)
         gold_index = index[document.language]
         totals[document.language] += 1
         predicted_index = index.get(predicted)
         if predicted_index is not None:
             confusion[gold_index, predicted_index] += 1
-        if predicted == document.language:
+        hit = predicted == document.language
+        if hit:
             correct[document.language] += 1
         elif record_misclassified:
             misclassified.append((document.doc_id, document.language, predicted))
+        if confidence is not None:
+            confidences.append(float(confidence))
+            correct_flags.append(hit)
     per_language = {
         language: (correct[language] / totals[language]) if totals[language] else 0.0
         for language in languages
@@ -112,6 +164,8 @@ def evaluate_classifier(classifier, corpus: Corpus, record_misclassified: bool =
         confusion=confusion,
         per_language_accuracy=per_language,
         misclassified=misclassified,
+        confidences=np.asarray(confidences, dtype=np.float64),
+        correct_mask=np.asarray(correct_flags, dtype=bool),
     )
 
 

@@ -202,6 +202,41 @@ class LanguageIdentifier:
             segmenter = self._default_segmenter = Segmenter(self)
         return segmenter.segment(text)
 
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(
+        self,
+        corpus,
+        scenarios=None,
+        lengths=None,
+        seed: int = 0,
+        n_bins: int = 10,
+    ):
+        """Run the robustness evaluation matrix of :mod:`repro.eval` on ``corpus``.
+
+        Sweeps this identifier over noise scenarios × truncation lengths
+        through the vectorized batch path and returns an
+        :class:`~repro.eval.matrix.EvaluationMatrix` with per-cell accuracy
+        reports, reliability/ECE calibration and degradation curves.
+        ``scenarios`` and ``lengths`` default to
+        :data:`~repro.eval.scenarios.DEFAULT_SCENARIOS` and
+        :data:`~repro.eval.matrix.DEFAULT_LENGTHS`; pass a mapping of
+        ``{name: identifier}`` to :func:`repro.eval.matrix.run_matrix` directly
+        to compare several backends in one matrix.
+        """
+        from repro.eval.matrix import DEFAULT_LENGTHS, run_matrix
+        from repro.eval.scenarios import DEFAULT_SCENARIOS
+
+        self._check_trained()
+        return run_matrix(
+            {self.config.backend: self},
+            corpus,
+            scenarios=DEFAULT_SCENARIOS if scenarios is None else scenarios,
+            lengths=DEFAULT_LENGTHS if lengths is None else lengths,
+            seed=seed,
+            n_bins=n_bins,
+        )
+
     # ------------------------------------------------------------ persistence
 
     def save(self, path: str | Path, format: str = "npz") -> Path:

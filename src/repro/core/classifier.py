@@ -98,6 +98,13 @@ class ClassificationResult:
         1 means no other language matched at all.  Unlike :attr:`margin`, the
         value is comparable across document lengths and across backends whose
         counters use different scales (Bloom hits vs fixed-point scores).
+
+        This is a *raw separation score*, not a probability: the classifier is
+        right far more often than the value suggests.  To turn it into a
+        measured P(correct), fit a
+        :class:`repro.eval.calibration.ConfidenceCalibrator` (the evaluation
+        matrix of :mod:`repro.eval` does this per backend and reports the
+        expected calibration error before and after).
         """
         counts = sorted(self.match_counts.values(), reverse=True)
         if not counts:

@@ -14,6 +14,10 @@ this package provides a synthetic stand-in:
   Zipf-distributed words from each language's vocabulary.
 * :mod:`repro.corpus.corpus` — ``Document``/``Corpus`` containers, train/test splits
   and the ``build_jrc_acquis_like`` convenience used by the benchmarks.
+* :mod:`repro.corpus.noise` — seeded, composable noise channels (typos, case
+  mangling, digit/punctuation injection, truncation, whitespace collapse) that
+  corrupt documents or whole corpora deterministically; the substrate of the
+  robustness evaluation matrix in :mod:`repro.eval`.
 
 The substitution is documented in DESIGN.md: classification accuracy depends on the
 distributional separation of n-grams between languages, which the generator
@@ -30,6 +34,17 @@ from repro.corpus.generator import (
     SyntheticCorpusBuilder,
 )
 from repro.corpus.languages import LANGUAGES, LanguageSpec, PAPER_LANGUAGES, get_language
+from repro.corpus.noise import (
+    CaseNoiseChannel,
+    ComposeChannel,
+    DigitPunctuationChannel,
+    IdentityChannel,
+    NoiseChannel,
+    NoisyDocumentGenerator,
+    TruncateChannel,
+    TypoChannel,
+    WhitespaceCollapseChannel,
+)
 
 __all__ = [
     "Corpus",
@@ -44,4 +59,13 @@ __all__ = [
     "LanguageSpec",
     "PAPER_LANGUAGES",
     "get_language",
+    "NoiseChannel",
+    "IdentityChannel",
+    "ComposeChannel",
+    "TypoChannel",
+    "CaseNoiseChannel",
+    "DigitPunctuationChannel",
+    "TruncateChannel",
+    "WhitespaceCollapseChannel",
+    "NoisyDocumentGenerator",
 ]

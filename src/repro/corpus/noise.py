@@ -1,0 +1,338 @@
+"""Seeded, composable noise channels for robustness evaluation.
+
+The paper's 99.45 % average accuracy (Section 5.1) is measured on clean
+~1 300-word documents.  Production traffic is not clean: it is short, typo-ridden,
+SHOUTED, sprinkled with digits and punctuation, and whitespace-mangled by the
+transport that delivered it.  A :class:`NoiseChannel` is a deterministic text
+transform standing in for one of those corruption processes, so the evaluation
+matrix (:mod:`repro.eval`) can measure how accuracy and confidence degrade as the
+channel intensity rises.
+
+Determinism is the load-bearing property: a channel applied to document ``index``
+under ``seed`` always produces the same bytes, on every platform and process, so
+the golden regression harness (``tests/goldens/eval_matrix.json``) can pin the
+matrix results.  Channels derive their randomness the same way
+:class:`~repro.corpus.generator.DocumentGenerator` does — from ``(seed, index,
+channel name)`` with no reliance on Python's salted ``hash()``.
+
+Channels compose (``channel.then(other)``) and wrap any document source: a
+:class:`~repro.corpus.corpus.Corpus` via :meth:`NoiseChannel.corrupt_corpus`, or
+any generator object exposing ``generate_document`` via
+:class:`NoisyDocumentGenerator`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, Document
+
+__all__ = [
+    "NoiseChannel",
+    "IdentityChannel",
+    "ComposeChannel",
+    "TypoChannel",
+    "CaseNoiseChannel",
+    "DigitPunctuationChannel",
+    "TruncateChannel",
+    "WhitespaceCollapseChannel",
+    "NoisyDocumentGenerator",
+]
+
+#: fixed salt separating channel randomness from generator randomness
+_NOISE_SEED = 0x0153_C4A7
+
+#: substitution alphabet for typo edits (lower-case Latin letters; the 5-bit
+#: alphabet maps everything else to whitespace, so letters are the only
+#: substitutions that change packed n-grams rather than merely splitting them)
+_LETTERS = np.array(list("abcdefghijklmnopqrstuvwxyz"), dtype="<U1")
+
+#: tokens injected by the digit/punctuation channel — numbers, dates, citation
+#: debris; the kind of boilerplate real legal/chat traffic interleaves with text
+_INJECTED_PUNCTUATION = np.array(list(".,;:!?()[]/-\"'%"), dtype="<U1")
+
+
+def _derive_rng(seed: int, index: int, name: str) -> np.random.Generator:
+    """A generator keyed by (seed, document index, channel name); process-stable."""
+    material = sum((i + 1) * b for i, b in enumerate(name.encode("utf-8")))
+    return np.random.default_rng(
+        (_NOISE_SEED + seed * 5_000_011 + index * 1_009 + material * 131) % (2**63)
+    )
+
+
+class NoiseChannel(abc.ABC):
+    """A deterministic document corruption process.
+
+    Subclasses implement :meth:`apply` (transform one text given an explicit
+    RNG); the base class provides the seeded entry points every caller uses:
+    :meth:`corrupt` for one document, :meth:`corrupt_corpus` for a labelled
+    corpus (gold labels are preserved — the noise is in the *text*, never the
+    truth), and :meth:`then` for composition.
+    """
+
+    #: short registry-style name (used in RNG derivation and reports)
+    name: str = "noise"
+
+    @abc.abstractmethod
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        """Return the corrupted text, drawing all randomness from ``rng``."""
+
+    def corrupt(self, text: str, seed: int = 0, index: int = 0) -> str:
+        """Corrupt one document deterministically in ``(seed, index)``."""
+        return self.apply(text, _derive_rng(seed, index, self.name))
+
+    def corrupt_corpus(self, corpus: Corpus, seed: int = 0) -> Corpus:
+        """A new corpus with every document's *text* corrupted, labels intact.
+
+        Each document gets an independent RNG keyed by its position, so adding
+        or reordering documents changes only the affected positions.
+        """
+        return Corpus(
+            Document(
+                doc_id=document.doc_id,
+                language=document.language,
+                text=self.corrupt(document.text, seed=seed, index=position),
+            )
+            for position, document in enumerate(corpus)
+        )
+
+    def then(self, other: "NoiseChannel") -> "ComposeChannel":
+        """The composition ``other(self(text))`` as a single channel."""
+        return ComposeChannel((self, other))
+
+    def describe(self) -> dict:
+        """JSON-ready description (name + the parameters that define the channel)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parameters = {k: v for k, v in self.describe().items() if k != "name"}
+        inner = ", ".join(f"{k}={v!r}" for k, v in parameters.items())
+        return f"{type(self).__name__}({inner})"
+
+
+class IdentityChannel(NoiseChannel):
+    """The clean channel: passes text through unchanged (the matrix baseline)."""
+
+    name = "clean"
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        return text
+
+
+class ComposeChannel(NoiseChannel):
+    """Sequential composition of channels, applied left to right.
+
+    Each stage draws from its own derived RNG (keyed by its position and its
+    own name), so composing channels never perturbs the byte streams the
+    individual channels would produce alone at other positions.
+    """
+
+    def __init__(self, channels: Sequence[NoiseChannel]):
+        self.channels = tuple(channels)
+        self.name = "+".join(channel.name for channel in self.channels) or "clean"
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        # Derive one independent stream per stage from the incoming rng so a
+        # stage's consumption pattern cannot shift its successors.
+        seeds = rng.integers(0, 2**63, size=max(1, len(self.channels)), dtype=np.int64)
+        for channel, stage_seed in zip(self.channels, seeds):
+            text = channel.apply(text, np.random.default_rng(int(stage_seed)))
+        return text
+
+    def describe(self) -> dict:
+        return {"name": self.name, "channels": [c.describe() for c in self.channels]}
+
+
+class TypoChannel(NoiseChannel):
+    """Character-level typo edits: adjacent swaps, drops and substitutions.
+
+    Each character position independently suffers an edit with probability
+    ``rate``; the edit kind is drawn uniformly from ``edits``.  Edits are
+    applied right-to-left so earlier positions are not shifted by later edits.
+    """
+
+    name = "typo"
+
+    def __init__(self, rate: float, edits: Sequence[str] = ("swap", "drop", "substitute")):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        valid = {"swap", "drop", "substitute"}
+        unknown = [edit for edit in edits if edit not in valid]
+        if unknown or not edits:
+            raise ValueError(f"edits must be a non-empty subset of {sorted(valid)}, got {edits!r}")
+        self.rate = float(rate)
+        self.edits = tuple(edits)
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        if not text or self.rate == 0.0:
+            return text
+        chars = list(text)
+        hit = rng.random(len(chars)) < self.rate
+        kinds = rng.integers(0, len(self.edits), size=len(chars))
+        substitutes = rng.choice(_LETTERS, size=len(chars))
+        for position in range(len(chars) - 1, -1, -1):
+            if not hit[position]:
+                continue
+            edit = self.edits[int(kinds[position])]
+            if edit == "swap" and position + 1 < len(chars):
+                chars[position], chars[position + 1] = chars[position + 1], chars[position]
+            elif edit == "drop":
+                del chars[position]
+            elif edit == "substitute":
+                chars[position] = str(substitutes[position])
+        return "".join(chars)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "rate": self.rate, "edits": list(self.edits)}
+
+
+class CaseNoiseChannel(NoiseChannel):
+    """Case mangling: each character's case is flipped with probability ``rate``.
+
+    The 5-bit alphabet is case-insensitive, so a *correct* converter should be
+    immune — this channel is the regression tripwire for that claim (and a real
+    degradation axis for any future case-sensitive profile work).
+    """
+
+    name = "case"
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = float(rate)
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        if not text or self.rate == 0.0:
+            return text
+        flips = rng.random(len(text)) < self.rate
+        return "".join(
+            char.swapcase() if flip else char for char, flip in zip(text, flips)
+        )
+
+    def describe(self) -> dict:
+        return {"name": self.name, "rate": self.rate}
+
+
+class DigitPunctuationChannel(NoiseChannel):
+    """Digit and punctuation injection between words.
+
+    After each word, with probability ``rate``, a junk token is inserted: a
+    random 1–6 digit number or a short punctuation run.  Junk maps to
+    whitespace under the 5-bit alphabet, so it dilutes the n-gram stream
+    (splitting cross-word n-grams) without forging letter n-grams.
+    """
+
+    name = "digits"
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = float(rate)
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        words = text.split(" ")
+        if len(words) <= 1 or self.rate == 0.0:
+            return text
+        pieces: list[str] = []
+        inject = rng.random(len(words)) < self.rate
+        numeric = rng.random(len(words)) < 0.5
+        magnitudes = rng.integers(1, 1_000_000, size=len(words))
+        run_lengths = rng.integers(1, 4, size=len(words))
+        punct = rng.choice(_INJECTED_PUNCTUATION, size=(len(words), 3))
+        for position, word in enumerate(words):
+            pieces.append(word)
+            if inject[position]:
+                if numeric[position]:
+                    pieces.append(str(int(magnitudes[position])))
+                else:
+                    pieces.append("".join(punct[position][: int(run_lengths[position])]))
+        return " ".join(pieces)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "rate": self.rate}
+
+
+class TruncateChannel(NoiseChannel):
+    """Truncation to the first ``n_words`` whitespace-delimited words.
+
+    The document-length axis of the evaluation matrix: short queries, subject
+    lines and chat messages are the regime where n-gram voting has the least
+    evidence to vote with.
+    """
+
+    name = "truncate"
+
+    def __init__(self, n_words: int):
+        if n_words <= 0:
+            raise ValueError("n_words must be positive")
+        self.n_words = int(n_words)
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        words = text.split()
+        if len(words) <= self.n_words:
+            return text
+        return " ".join(words[: self.n_words])
+
+    def describe(self) -> dict:
+        return {"name": self.name, "n_words": self.n_words}
+
+
+class WhitespaceCollapseChannel(NoiseChannel):
+    """Collapses every whitespace run (spaces, newlines, paragraph breaks) to one space.
+
+    Models transport-mangled text (HTML extraction, log lines).  Word-boundary
+    n-grams survive, but the paragraph structure the generator emits does not.
+    """
+
+    name = "whitespace"
+
+    def apply(self, text: str, rng: np.random.Generator) -> str:
+        return " ".join(text.split())
+
+
+class NoisyDocumentGenerator:
+    """Wraps any document generator so every emitted document passes the channel.
+
+    ``generator`` needs ``generate_document(n_words=..., index=...)`` (both
+    :class:`~repro.corpus.generator.DocumentGenerator` and custom sources
+    qualify); the channel RNG is keyed by the same ``index``, so the wrapper is
+    as deterministic as the source.
+    """
+
+    def __init__(self, generator, channel: NoiseChannel, seed: int = 0):
+        self.generator = generator
+        self.channel = channel
+        self.seed = int(seed)
+
+    def generate_document(self, n_words: int = 1300, index: int = 0) -> str:
+        clean = self.generator.generate_document(n_words=n_words, index=index)
+        return self.channel.corrupt(clean, seed=self.seed, index=index)
+
+    def generate_documents(
+        self,
+        count: int,
+        start_index: int = 0,
+        *,
+        n_words: int | None = None,
+        words_per_document: int | None = None,
+    ) -> list[str]:
+        """Generate ``count`` corrupted documents at consecutive indices.
+
+        ``n_words`` and ``words_per_document`` are aliases (matching the two
+        generator vocabularies in :mod:`repro.corpus.generator`); passing both
+        is ambiguous and rejected.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if n_words is not None and words_per_document is not None:
+            raise TypeError("pass either n_words or words_per_document, not both")
+        length = words_per_document if words_per_document is not None else n_words
+        if length is None:
+            length = 1300
+        return [
+            self.generate_document(n_words=length, index=start_index + i)
+            for i in range(count)
+        ]

@@ -1,0 +1,78 @@
+"""repro.eval — the robustness measurement layer over every backend.
+
+The paper reports 99.45 % average accuracy on clean ~1 300-word documents
+(Section 5.1); the serving layer answers arbitrary traffic.  This subsystem
+measures the gap instead of assuming it away:
+
+:mod:`repro.eval.scenarios`
+    Named, levelled noise scenarios built on the seeded channels of
+    :mod:`repro.corpus.noise` (typos, case mangling, digit/punctuation
+    injection, whitespace collapse) plus the clean baseline.
+:mod:`repro.eval.matrix`
+    :func:`~repro.eval.matrix.run_matrix` sweeps backend × scenario ×
+    document-length through the vectorized ``classify_batch`` hot path and
+    returns per-cell accuracy reports, calibration reports and degradation
+    curves (:class:`~repro.eval.matrix.EvaluationMatrix`).
+:mod:`repro.eval.calibration`
+    Reliability bins, expected calibration error, and the monotone
+    :class:`~repro.eval.calibration.ConfidenceCalibrator` that turns the raw
+    counter-separation confidence into a measured P(correct).
+:mod:`repro.eval.golden`
+    Tolerance-aware golden-file comparison pinning a seeded matrix
+    (``tests/goldens/eval_matrix.json``) so scenario-cell accuracy cannot
+    silently regress.
+
+Surfaces: :meth:`repro.api.identifier.LanguageIdentifier.evaluate`, the
+``repro evaluate`` CLI command, and ``benchmarks/test_eval_matrix.py`` (writes
+``BENCH_eval.json``).
+"""
+
+from repro.eval.calibration import (
+    CalibrationReport,
+    ConfidenceCalibrator,
+    expected_calibration_error,
+    reliability,
+)
+from repro.eval.golden import (
+    DEFAULT_TOLERANCES,
+    compare_to_golden,
+    golden_from_matrix,
+    load_golden,
+    write_golden,
+)
+from repro.eval.matrix import (
+    DEFAULT_LENGTHS,
+    EvaluationMatrix,
+    MatrixCell,
+    run_matrix,
+    train_identifiers,
+)
+from repro.eval.scenarios import (
+    DEFAULT_SCENARIOS,
+    SCENARIO_FAMILIES,
+    Scenario,
+    parse_scenario,
+    parse_scenarios,
+)
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_FAMILIES",
+    "DEFAULT_SCENARIOS",
+    "parse_scenario",
+    "parse_scenarios",
+    "CalibrationReport",
+    "ConfidenceCalibrator",
+    "reliability",
+    "expected_calibration_error",
+    "MatrixCell",
+    "EvaluationMatrix",
+    "DEFAULT_LENGTHS",
+    "run_matrix",
+    "train_identifiers",
+    "DEFAULT_TOLERANCES",
+    "golden_from_matrix",
+    "compare_to_golden",
+    "write_golden",
+    "load_golden",
+]

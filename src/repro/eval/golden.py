@@ -1,0 +1,138 @@
+"""Golden regression harness for the evaluation matrix.
+
+A golden file pins the seeded matrix's per-cell metrics so a future change that
+silently degrades accuracy (or wrecks calibration) on *any* scenario cell turns
+into a tier-1 test failure instead of a quiet production regression.  The
+committed instance lives at ``tests/goldens/eval_matrix.json``.
+
+Comparison is tolerance-aware: cell metrics are floats produced by seeded but
+floating-point pipelines, so each metric gets a small absolute tolerance
+(:data:`DEFAULT_TOLERANCES`) instead of bit-equality.  Structural drift —
+missing cells, new cells, changed axes — always fails, because a golden that no
+longer covers the matrix is not a golden.
+
+Refreshing after an *intentional* change::
+
+    PYTHONPATH=src python -m pytest tests/test_eval_golden.py --update-goldens
+    # or, for an ad-hoc golden of any matrix configuration:
+    python -m repro evaluate ... --write-golden goldens.json
+    python -m repro evaluate ... --check-golden goldens.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.eval.matrix import EvaluationMatrix
+
+__all__ = [
+    "GOLDEN_VERSION",
+    "DEFAULT_TOLERANCES",
+    "golden_from_matrix",
+    "compare_to_golden",
+    "write_golden",
+    "load_golden",
+]
+
+GOLDEN_VERSION = 1
+
+#: absolute tolerance per pinned metric — wide enough for float noise across
+#: platforms/NumPy builds, narrow enough that a real accuracy regression on a
+#: cell (typically >= a whole document flipping, ~1-2 %) is caught
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "average_accuracy": 0.015,
+    "overall_accuracy": 0.015,
+    "mean_confidence": 0.03,
+    "ece": 0.03,
+    "ece_raw": 0.03,
+}
+
+
+def _cell_key(cell) -> str:
+    return f"{cell.backend}|{cell.scenario}|{cell.length}"
+
+
+def _cell_metrics(cell) -> dict[str, float]:
+    return {
+        "average_accuracy": cell.report.average_accuracy,
+        "overall_accuracy": cell.report.overall_accuracy,
+        "mean_confidence": cell.report.mean_confidence,
+        "ece": cell.calibration.ece,
+        "ece_raw": cell.calibration.ece_raw if cell.calibration.ece_raw is not None else 0.0,
+    }
+
+
+def golden_from_matrix(matrix: EvaluationMatrix) -> dict:
+    """The JSON-ready golden payload for a matrix (metrics only, no raw reports)."""
+    return {
+        "version": GOLDEN_VERSION,
+        "meta": {
+            "backends": list(matrix.backends),
+            "scenarios": [scenario.name for scenario in matrix.scenarios],
+            "lengths": list(matrix.lengths),
+            "languages": list(matrix.languages),
+            "seed": matrix.seed,
+            "n_bins": matrix.n_bins,
+            "documents": matrix.documents,
+        },
+        "cells": {
+            _cell_key(cell): {name: round(value, 6) for name, value in _cell_metrics(cell).items()}
+            for cell in matrix.cells
+        },
+    }
+
+
+def compare_to_golden(
+    matrix: EvaluationMatrix,
+    golden: dict,
+    tolerances: dict[str, float] | None = None,
+) -> list[str]:
+    """Drift messages between a freshly-run matrix and a golden payload.
+
+    Empty list means "no drift".  Messages are one per problem and
+    human-actionable (which cell, which metric, expected vs got vs tolerance).
+    """
+    tolerances = DEFAULT_TOLERANCES if tolerances is None else tolerances
+    problems: list[str] = []
+    if golden.get("version") != GOLDEN_VERSION:
+        return [
+            f"golden version {golden.get('version')!r} != {GOLDEN_VERSION} "
+            "(regenerate with --update-goldens)"
+        ]
+    golden_cells = dict(golden.get("cells", {}))
+    current = {_cell_key(cell): _cell_metrics(cell) for cell in matrix.cells}
+    for key in sorted(set(golden_cells) - set(current)):
+        problems.append(f"cell {key} is in the golden but was not evaluated")
+    for key in sorted(set(current) - set(golden_cells)):
+        problems.append(f"cell {key} was evaluated but is missing from the golden")
+    for key in sorted(set(current) & set(golden_cells)):
+        expected = golden_cells[key]
+        got = current[key]
+        for metric, tolerance in tolerances.items():
+            if metric not in expected:
+                problems.append(f"cell {key}: golden lacks metric {metric!r}")
+                continue
+            delta = abs(got[metric] - expected[metric])
+            if delta > tolerance:
+                problems.append(
+                    f"cell {key}: {metric} drifted to {got[metric]:.4f} "
+                    f"(golden {expected[metric]:.4f}, |delta| {delta:.4f} > tol {tolerance})"
+                )
+    return problems
+
+
+def write_golden(matrix: EvaluationMatrix, path: str | Path) -> Path:
+    """Serialise the matrix's golden payload to ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(golden_from_matrix(matrix), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_golden(path: str | Path) -> dict:
+    """Load a golden payload written by :func:`write_golden`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

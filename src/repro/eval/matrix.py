@@ -1,0 +1,355 @@
+"""The robustness evaluation matrix: backend × scenario × document-length sweep.
+
+One call — :func:`run_matrix` — measures what the serving layer only assumes:
+how classification accuracy and confidence degrade when the paper's clean
+1 300-word documents give way to short, noisy, real-world traffic.  Every cell
+of the (backend, scenario, length) grid is evaluated through the vectorized
+``classify_batch`` hot path (each corrupted corpus is corrupted once and hashed
+once per backend), so the full default matrix over several backends runs in
+seconds.
+
+Per cell the matrix records an :class:`~repro.analysis.accuracy.AccuracyReport`
+and a :class:`~repro.eval.calibration.CalibrationReport`; per backend it fits a
+:class:`~repro.eval.calibration.ConfidenceCalibrator` on the clean full-length
+cell and reports calibrated ECE everywhere, alongside the raw-separation ECE.
+Degradation curves fall out of the grid: :meth:`EvaluationMatrix.accuracy_vs_noise`
+per scenario family and :meth:`EvaluationMatrix.accuracy_vs_length` per scenario.
+
+The golden regression harness (:mod:`repro.eval.golden`,
+``tests/goldens/eval_matrix.json``) pins a seeded matrix so accuracy on any
+scenario cell cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.accuracy import AccuracyReport, evaluate_classifier_batch
+from repro.corpus.corpus import Corpus
+from repro.corpus.noise import TruncateChannel
+from repro.eval.calibration import (
+    DEFAULT_BINS,
+    CalibrationReport,
+    ConfidenceCalibrator,
+    reliability,
+)
+from repro.eval.scenarios import DEFAULT_SCENARIOS, Scenario
+
+__all__ = [
+    "MatrixCell",
+    "EvaluationMatrix",
+    "DEFAULT_LENGTHS",
+    "run_matrix",
+    "train_identifiers",
+]
+
+
+def train_identifiers(config, backends: Sequence[str], corpus) -> dict:
+    """Train one identifier per backend name, sharing a single profile build.
+
+    The first backend trains from ``corpus``; the rest are programmed with the
+    same profiles through ``train_profiles``, so every matrix row group sees
+    byte-identical training state and the expensive n-gram counting happens
+    once.  This is the canonical way to prepare the ``identifiers`` mapping for
+    :func:`run_matrix` (the CLI, the golden test and the benchmark all use it).
+    """
+    from repro.api.identifier import LanguageIdentifier
+
+    backends = list(backends)
+    if not backends:
+        raise ValueError("at least one backend is required")
+    first = LanguageIdentifier(config.replace(backend=backends[0])).train(corpus)
+    identifiers = {backends[0]: first}
+    for name in backends[1:]:
+        identifier = LanguageIdentifier(config.replace(backend=name))
+        identifier.train_profiles(first.profiles)
+        identifiers[name] = identifier
+    return identifiers
+
+#: default document-length axis in words: tweet-length, paragraph-length, and
+#: (relative to the evaluation corpora) full-document
+DEFAULT_LENGTHS: tuple[int, ...] = (15, 60, 250)
+
+
+@dataclass
+class MatrixCell:
+    """One (backend, scenario, length) cell of the evaluation matrix."""
+
+    backend: str
+    scenario: str
+    family: str
+    level: float
+    length: int
+    documents: int
+    report: AccuracyReport
+    calibration: CalibrationReport
+
+    @property
+    def average_accuracy(self) -> float:
+        return self.report.average_accuracy
+
+    @property
+    def overall_accuracy(self) -> float:
+        return self.report.overall_accuracy
+
+    @property
+    def ece(self) -> float:
+        """Calibrated ECE (raw ECE is :attr:`CalibrationReport.ece_raw`)."""
+        return self.calibration.ece
+
+    def to_json(self) -> dict:
+        return {
+            "backend": self.backend,
+            "scenario": self.scenario,
+            "family": self.family,
+            "level": self.level,
+            "length": self.length,
+            "documents": self.documents,
+            "average_accuracy": self.report.average_accuracy,
+            "overall_accuracy": self.report.overall_accuracy,
+            "min_accuracy": self.report.min_accuracy,
+            "mean_confidence": self.report.mean_confidence,
+            "calibration": self.calibration.to_json(),
+        }
+
+
+@dataclass
+class EvaluationMatrix:
+    """The full sweep result: cells plus per-backend calibrators and metadata."""
+
+    cells: list[MatrixCell]
+    backends: list[str]
+    scenarios: list[Scenario]
+    lengths: list[int]
+    languages: list[str]
+    seed: int
+    n_bins: int
+    documents: int
+    elapsed_seconds: float
+    calibrators: dict[str, ConfidenceCalibrator] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ lookup
+
+    def cell(self, backend: str, scenario: str, length: int) -> MatrixCell:
+        """The cell at exact (backend, scenario name, length) coordinates."""
+        for candidate in self.cells:
+            if (
+                candidate.backend == backend
+                and candidate.scenario == scenario
+                and candidate.length == length
+            ):
+                return candidate
+        raise KeyError(f"no matrix cell ({backend!r}, {scenario!r}, {length!r})")
+
+    @property
+    def baseline_scenario(self) -> Scenario:
+        """The curves' origin: the clean scenario when present, else the first one.
+
+        Mirrors the calibration anchor choice of :func:`run_matrix`, so the
+        baseline cell is always the cell the calibrators were fitted on.
+        """
+        return _calibration_scenario(self.scenarios)
+
+    def clean_cell(self, backend: str) -> MatrixCell:
+        """The baseline scenario at the longest evaluated length (the paper's regime).
+
+        "Clean" when a clean scenario was swept; for all-noise matrices this
+        falls back to the first scenario rather than raising, so summaries and
+        the CLI render whatever baseline the matrix actually has.
+        """
+        return self.cell(backend, self.baseline_scenario.name, max(self.lengths))
+
+    # ------------------------------------------------------------ curves
+
+    def accuracy_vs_noise(
+        self, backend: str, family: str, length: int | None = None
+    ) -> list[tuple[float, float]]:
+        """``(level, average accuracy)`` points for one noise family, level-sorted.
+
+        The clean cell is included as the curve's level-0.0 origin, so every
+        family's curve starts from the same uncorrupted baseline.
+        """
+        length = max(self.lengths) if length is None else length
+        points: list[tuple[float, float]] = []
+        for cell in self.cells:
+            if cell.backend != backend or cell.length != length:
+                continue
+            if cell.family == family or (cell.family == "clean" and family != "clean"):
+                points.append((cell.level, cell.average_accuracy))
+        return sorted(points)
+
+    def accuracy_vs_length(self, backend: str, scenario: str) -> list[tuple[int, float]]:
+        """``(length, average accuracy)`` points for one scenario, length-sorted."""
+        return sorted(
+            (cell.length, cell.average_accuracy)
+            for cell in self.cells
+            if cell.backend == backend and cell.scenario == scenario
+        )
+
+    def noise_families(self) -> list[str]:
+        """Distinct non-clean scenario families, in scenario order."""
+        seen: dict[str, None] = {}
+        for scenario in self.scenarios:
+            if scenario.family != "clean":
+                seen.setdefault(scenario.family, None)
+        return list(seen)
+
+    # ------------------------------------------------------------ export
+
+    def to_json(self) -> dict:
+        """Full JSON-ready view: metadata, cells, curves and calibrators."""
+        curves = {
+            backend: {
+                "accuracy_vs_noise": {
+                    family: [[level, acc] for level, acc in self.accuracy_vs_noise(backend, family)]
+                    for family in self.noise_families()
+                },
+                "accuracy_vs_length": {
+                    scenario.name: [
+                        [length, acc] for length, acc in self.accuracy_vs_length(backend, scenario.name)
+                    ]
+                    for scenario in self.scenarios
+                },
+            }
+            for backend in self.backends
+        }
+        return {
+            "backends": list(self.backends),
+            "scenarios": [scenario.describe() for scenario in self.scenarios],
+            "lengths": list(self.lengths),
+            "languages": list(self.languages),
+            "seed": self.seed,
+            "n_bins": self.n_bins,
+            "documents": self.documents,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cells": [cell.to_json() for cell in self.cells],
+            "curves": curves,
+            "calibrators": {
+                backend: calibrator.to_dict()
+                for backend, calibrator in self.calibrators.items()
+            },
+        }
+
+
+def _calibration_scenario(scenarios: Sequence[Scenario]) -> Scenario:
+    """The scenario the per-backend calibrator is fitted on (clean if present)."""
+    for scenario in scenarios:
+        if scenario.family == "clean":
+            return scenario
+    return scenarios[0]
+
+
+def run_matrix(
+    identifiers,
+    corpus: Corpus,
+    scenarios: Sequence[Scenario] = DEFAULT_SCENARIOS,
+    lengths: Sequence[int] = DEFAULT_LENGTHS,
+    seed: int = 0,
+    n_bins: int = DEFAULT_BINS,
+) -> EvaluationMatrix:
+    """Evaluate trained identifiers over the (scenario × length) grid of ``corpus``.
+
+    Parameters
+    ----------
+    identifiers:
+        Either one trained :class:`~repro.api.identifier.LanguageIdentifier`
+        or a mapping of display name → trained identifier (one matrix row
+        group per backend).  All identifiers see byte-identical corrupted
+        corpora: corruption happens once per (scenario, length) cell and is
+        keyed by ``seed``, never by the backend.
+    corpus:
+        The labelled evaluation corpus (gold labels are never corrupted).
+    scenarios, lengths:
+        The noise and document-length axes.  Lengths are truncation targets in
+        words, applied *before* the scenario channel (a short message that is
+        then corrupted, matching how short noisy traffic actually arrives).
+    seed:
+        Noise determinism seed; the same (corpus, scenarios, lengths, seed)
+        always produces byte-identical corrupted documents.
+    n_bins:
+        Reliability-bin count for calibration and ECE.
+    """
+    if not isinstance(identifiers, Mapping):
+        identifiers = {identifiers.config.backend: identifiers}
+    if not identifiers:
+        raise ValueError("at least one identifier is required")
+    scenarios = list(scenarios)
+    lengths = sorted(set(int(length) for length in lengths))
+    if not scenarios or not lengths:
+        raise ValueError("at least one scenario and one length are required")
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        # duplicate names would collide as matrix-cell and golden keys,
+        # silently shadowing half the sweep
+        raise ValueError(f"duplicate scenario names: {names!r}")
+    if any(length <= 0 for length in lengths):
+        raise ValueError("lengths must be positive word counts")
+    for name, identifier in identifiers.items():
+        if not identifier.is_trained:
+            raise RuntimeError(f"identifier {name!r} has not been trained")
+
+    started = time.perf_counter()
+    calibration_scenario = _calibration_scenario(scenarios)
+    calibration_length = max(lengths)
+
+    # corrupt once per (scenario, length); every backend reads the same bytes
+    reports: dict[tuple[str, str, int], AccuracyReport] = {}
+    for scenario in scenarios:
+        for length in lengths:
+            channel = TruncateChannel(length).then(scenario.channel())
+            corrupted = channel.corrupt_corpus(corpus, seed=seed)
+            for name, identifier in identifiers.items():
+                reports[(name, scenario.name, length)] = evaluate_classifier_batch(
+                    identifier, corrupted
+                )
+
+    calibrators: dict[str, ConfidenceCalibrator] = {}
+    for name in identifiers:
+        anchor = reports[(name, calibration_scenario.name, calibration_length)]
+        if anchor.confidences.size:
+            calibrators[name] = ConfidenceCalibrator.fit(
+                anchor.confidences, anchor.correct_mask, n_bins=n_bins
+            )
+
+    cells: list[MatrixCell] = []
+    for scenario in scenarios:
+        for length in lengths:
+            for name in identifiers:
+                report = reports[(name, scenario.name, length)]
+                raw = reliability(report.confidences, report.correct_mask, n_bins=n_bins)
+                calibrator = calibrators.get(name)
+                if calibrator is not None and report.confidences.size:
+                    calibration = reliability(
+                        calibrator(report.confidences), report.correct_mask, n_bins=n_bins
+                    )
+                    calibration.ece_raw = raw.ece
+                else:
+                    calibration = raw
+                    calibration.ece_raw = raw.ece
+                cells.append(
+                    MatrixCell(
+                        backend=name,
+                        scenario=scenario.name,
+                        family=scenario.family,
+                        level=scenario.level,
+                        length=length,
+                        documents=len(corpus),
+                        report=report,
+                        calibration=calibration,
+                    )
+                )
+
+    return EvaluationMatrix(
+        cells=cells,
+        backends=list(identifiers),
+        scenarios=scenarios,
+        lengths=lengths,
+        languages=list(corpus.languages),
+        seed=int(seed),
+        n_bins=int(n_bins),
+        documents=len(corpus),
+        elapsed_seconds=time.perf_counter() - started,
+        calibrators=calibrators,
+    )

@@ -1,0 +1,131 @@
+"""The scenario axis of the robustness matrix: named, levelled noise channels.
+
+A :class:`Scenario` is one column of the evaluation matrix — a noise *family*
+(which :class:`~repro.corpus.noise.NoiseChannel` kind corrupts the text) at one
+*level* (the channel's intensity parameter).  Families group scenarios into
+degradation curves: sweeping ``typo`` at levels 0.0 → 0.05 → 0.15 yields the
+accuracy-vs-noise curve the acceptance gates require to be monotone
+non-increasing.
+
+Scenarios are also parseable from CLI specs (``repro evaluate --scenarios
+clean,typo:0.05,digits:0.3``) via :func:`parse_scenario`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.corpus.noise import (
+    CaseNoiseChannel,
+    DigitPunctuationChannel,
+    IdentityChannel,
+    NoiseChannel,
+    TypoChannel,
+    WhitespaceCollapseChannel,
+)
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_FAMILIES",
+    "DEFAULT_SCENARIOS",
+    "parse_scenario",
+    "parse_scenarios",
+]
+
+#: family name -> channel factory taking the scenario level
+SCENARIO_FAMILIES: dict[str, Callable[[float], NoiseChannel]] = {
+    "clean": lambda level: IdentityChannel(),
+    "typo": lambda level: TypoChannel(level),
+    "case": lambda level: CaseNoiseChannel(level),
+    "digits": lambda level: DigitPunctuationChannel(level),
+    "whitespace": lambda level: WhitespaceCollapseChannel(),
+}
+
+#: noise families whose channel takes no intensity parameter; their level is
+#: normalised to 1.0 ("fully applied") by :class:`Scenario`
+_PARAMETERLESS_NOISE_FAMILIES = frozenset({"whitespace"})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One noise scenario: a family at a level, e.g. ``typo`` at rate 0.05.
+
+    ``name`` doubles as the matrix-cell key and the CLI spec (``family`` for
+    parameterless families, ``family:level`` otherwise).
+    """
+
+    family: str
+    level: float = 0.0
+
+    def __post_init__(self):
+        if self.family not in SCENARIO_FAMILIES:
+            raise ValueError(
+                f"unknown scenario family {self.family!r}; "
+                f"available: {sorted(SCENARIO_FAMILIES)}"
+            )
+        if self.level < 0.0:
+            raise ValueError("scenario level must be non-negative")
+        # parameterless noise families are always "fully applied": normalise
+        # their level to 1.0 so the degradation curve never collapses onto the
+        # clean origin at level 0.0, however the scenario was constructed
+        # (code, CLI spec, default) — Scenario("whitespace") ==
+        # parse_scenario("whitespace") == Scenario("whitespace", 1.0)
+        if self.family in _PARAMETERLESS_NOISE_FAMILIES and self.level == 0.0:
+            object.__setattr__(self, "level", 1.0)
+
+    @property
+    def name(self) -> str:
+        if self.family == "clean" or (
+            self.family in _PARAMETERLESS_NOISE_FAMILIES and self.level == 1.0
+        ):
+            return self.family
+        return f"{self.family}:{self.level:g}"
+
+    def channel(self) -> NoiseChannel:
+        """Instantiate the noise channel this scenario stands for."""
+        return SCENARIO_FAMILIES[self.family](self.level)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "family": self.family, "level": self.level}
+
+
+#: the built-in scenario matrix: a clean baseline, two points on the typo curve,
+#: and one point each on the remaining degradation axes (≥ 4 noise scenarios,
+#: per the robustness-evaluation acceptance gate)
+DEFAULT_SCENARIOS: tuple[Scenario, ...] = (
+    Scenario("clean"),
+    Scenario("typo", 0.05),
+    Scenario("typo", 0.15),
+    Scenario("case", 0.5),
+    Scenario("digits", 0.3),
+    Scenario("whitespace"),  # parameterless: normalised to level 1.0
+)
+
+
+def parse_scenario(spec: str) -> Scenario:
+    """Parse one ``family`` or ``family:level`` spec into a :class:`Scenario`."""
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty scenario spec")
+    family, _, level_text = text.partition(":")
+    level = 0.0
+    if level_text:
+        try:
+            level = float(level_text)
+        except ValueError:
+            raise ValueError(f"invalid scenario level in {spec!r}") from None
+    return Scenario(family.strip(), level)
+
+
+def parse_scenarios(specs: str | Iterable[str]) -> tuple[Scenario, ...]:
+    """Parse a comma-separated string (or iterable) of scenario specs."""
+    if isinstance(specs, str):
+        specs = specs.split(",")
+    scenarios = tuple(parse_scenario(spec) for spec in specs)
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenarios in {names!r}")
+    return scenarios

@@ -28,6 +28,13 @@ subsystem applies the same architecture to the software engine:
     ``python -m repro serve``.  Segmentation requests flow through the same
     cache / micro-batch / replica pipeline as classification (dedicated
     per-replica queues, op-prefixed cache keys) under both executors.
+
+The ``confidence`` field in ``/classify`` responses is the raw normalized
+separation score, and its relationship to actual correctness is *measured*,
+not assumed: :mod:`repro.eval` sweeps accuracy and expected calibration error
+across noise scenarios and document lengths (``repro evaluate``), and its
+:class:`~repro.eval.calibration.ConfidenceCalibrator` maps the raw score to an
+empirical P(correct) for consumers that need a probability.
 """
 
 from __future__ import annotations

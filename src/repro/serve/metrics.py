@@ -9,10 +9,17 @@ request-at-a-time baseline (mass at 1).
 
 Latencies are kept in a bounded reservoir (most recent ``reservoir_size``
 observations) so percentile queries stay O(window) regardless of uptime.
+
+Confidence note: the ``confidence`` field these metrics ride alongside in
+``/classify`` responses is the *raw* normalized separation score.  It is
+ordinally meaningful but not a probability — see :mod:`repro.eval.calibration`
+for reliability bins, ECE and the fitted calibrator that turn it into a
+measured P(correct).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter, deque
 
@@ -38,13 +45,20 @@ def percentile(samples, q: float) -> float:
 class ServiceMetrics:
     """Mutable metric registry owned by one :class:`~repro.serve.service.ClassificationService`.
 
-    All methods are synchronous and designed to be called from the event-loop
-    thread; nothing here blocks.
+    All methods are synchronous and nothing here blocks for long: recording is
+    a counter bump under an uncontended lock.  The lock matters for the *read*
+    side — ``snapshot()`` iterates the batch-size histogram and the latency
+    reservoir, and without it a concurrent ``record_batch`` from a replica
+    worker thread can mutate the histogram mid-iteration (a
+    ``RuntimeError: dictionary changed size during iteration``) or tear the
+    view.  Reads therefore take the same (reentrant) lock and always observe a
+    consistent snapshot.
     """
 
     def __init__(self, reservoir_size: int = 4096, clock=time.monotonic):
         if reservoir_size <= 0:
             raise ValueError("reservoir_size must be positive")
+        self._lock = threading.RLock()
         self._clock = clock
         self.started_at = clock()
         self.requests_total = 0
@@ -67,32 +81,37 @@ class ServiceMetrics:
         so ``requests_total + rejected_* `` is the total arrival count).
         ``kind="segment"`` additionally ticks the segmentation counter, so
         ``requests_total`` stays the overall admitted volume."""
-        self.requests_total += 1
-        self.bytes_total += int(n_bytes)
-        if kind == "segment":
-            self.segment_requests_total += 1
+        with self._lock:
+            self.requests_total += 1
+            self.bytes_total += int(n_bytes)
+            if kind == "segment":
+                self.segment_requests_total += 1
 
     def record_response(self, latency_seconds: float, cached: bool = False) -> None:
-        self.responses_total += 1
-        if cached:
-            self.cache_hits += 1
-        self._latencies.append(float(latency_seconds))
+        with self._lock:
+            self.responses_total += 1
+            if cached:
+                self.cache_hits += 1
+            self._latencies.append(float(latency_seconds))
 
     def record_rejection(self, reason: str) -> None:
-        if reason == "overload":
-            self.rejected_overload += 1
-        elif reason == "too-large":
-            self.rejected_too_large += 1
-        else:
-            self.errors_total += 1
+        with self._lock:
+            if reason == "overload":
+                self.rejected_overload += 1
+            elif reason == "too-large":
+                self.rejected_too_large += 1
+            else:
+                self.errors_total += 1
 
     def record_batch(self, size: int) -> None:
-        self.batches_total += 1
-        self.batch_sizes[int(size)] += 1
+        with self._lock:
+            self.batches_total += 1
+            self.batch_sizes[int(size)] += 1
 
     def record_worker_respawn(self) -> None:
         """Count one crashed-and-replaced replica worker process."""
-        self.worker_respawns_total += 1
+        with self._lock:
+            self.worker_respawns_total += 1
 
     # ------------------------------------------------------------ derived
 
@@ -107,23 +126,34 @@ class ServiceMetrics:
 
     @property
     def mean_batch_size(self) -> float:
-        total = sum(size * count for size, count in self.batch_sizes.items())
-        return total / self.batches_total if self.batches_total else 0.0
+        with self._lock:
+            total = sum(size * count for size, count in self.batch_sizes.items())
+            return total / self.batches_total if self.batches_total else 0.0
 
     def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[str, float]:
         """Seconds at each requested percentile of the latency reservoir."""
-        window = list(self._latencies)
+        with self._lock:
+            window = list(self._latencies)
         return {f"p{q:g}": percentile(window, q) for q in qs}
 
     def batch_size_histogram(self) -> dict[int, int]:
         """Exact ``batch size -> flush count`` mapping, sorted by batch size."""
-        return dict(sorted(self.batch_sizes.items()))
+        with self._lock:
+            return dict(sorted(self.batch_sizes.items()))
 
     # ------------------------------------------------------------ export
 
     def snapshot(self) -> dict:
-        """JSON-ready view of every metric (served by ``GET /metrics``)."""
-        latencies = self.latency_percentiles()
+        """JSON-ready view of every metric (served by ``GET /metrics``).
+
+        Taken under the metrics lock, so the counters in one snapshot are
+        mutually consistent even while replica threads keep recording.
+        """
+        with self._lock:
+            latencies = self.latency_percentiles()
+            return self._snapshot_locked(latencies)
+
+    def _snapshot_locked(self, latencies: dict[str, float]) -> dict:
         return {
             "uptime_seconds": self.uptime_seconds,
             "requests_total": self.requests_total,

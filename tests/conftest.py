@@ -14,6 +14,21 @@ from repro.corpus.corpus import Corpus, build_jrc_acquis_like
 #: small but representative language set: two confusable pairs + two unrelated
 TEST_LANGUAGES = ("en", "fr", "es", "pt", "fi", "et")
 
+
+def pytest_addoption(parser):
+    """``--update-goldens`` refreshes committed golden files instead of comparing.
+
+    Used by the evaluation-matrix regression test
+    (``tests/test_eval_golden.py`` → ``tests/goldens/eval_matrix.json``); run
+    it after an *intentional* accuracy/calibration change and commit the diff.
+    """
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden regression files from the current run, then skip the check",
+    )
+
 #: profile size used by the test fixtures (small to keep the suite fast)
 TEST_PROFILE_SIZE = 1500
 

@@ -94,6 +94,102 @@ class TestEvaluateClassifier:
         assert report.overall_accuracy == 0.0
 
 
+class TestAccuracyReportDegenerateInputs:
+    """Degenerate corpora: empty, single-language, and all-misclassified."""
+
+    def test_empty_corpus(self):
+        from repro.corpus.corpus import Corpus
+
+        report = evaluate_classifier(_FixedClassifier("en"), Corpus())
+        assert report.languages == []
+        assert report.confusion.shape == (0, 0)
+        assert report.per_language_accuracy == {}
+        assert report.misclassified == []
+        assert report.average_accuracy == 0.0
+        assert report.overall_accuracy == 0.0
+        assert report.min_accuracy == 0.0 and report.max_accuracy == 0.0
+        assert report.mean_confidence == 0.0
+        assert report.top_confusions() == []
+        assert confusion_pairs(report) == {}
+
+    def test_single_language_corpus(self):
+        from repro.corpus.corpus import Corpus, Document
+
+        corpus = Corpus([Document(doc_id=f"d{i}", language="en", text="x") for i in range(5)])
+        report = evaluate_classifier(_FixedClassifier("en"), corpus)
+        assert report.languages == ["en"]
+        assert report.confusion.shape == (1, 1)
+        assert report.average_accuracy == 1.0
+        assert report.overall_accuracy == 1.0
+        assert report.min_accuracy == report.max_accuracy == 1.0
+        assert confusion_pairs(report) == {}
+
+    def test_all_misclassified_within_known_languages(self, test_corpus):
+        # relabel every doc as some other in-set language: accuracy must be
+        # exactly zero, every document listed, and the confusion mass intact
+        languages = test_corpus.languages
+        wrong = {lang: languages[(i + 1) % len(languages)] for i, lang in enumerate(languages)}
+
+        class _WrongClassifier:
+            def classify_text(self, text):
+                return wrong[self._lookup[text]]
+
+        classifier = _WrongClassifier()
+        classifier._lookup = {doc.text: doc.language for doc in test_corpus}
+        report = evaluate_classifier(classifier, test_corpus)
+        assert report.average_accuracy == 0.0
+        assert report.overall_accuracy == 0.0
+        assert len(report.misclassified) == len(test_corpus)
+        assert int(report.confusion.sum()) == len(test_corpus)
+        assert int(np.trace(report.confusion)) == 0
+        assert sum(confusion_pairs(report).values()) == len(test_corpus)
+
+    def test_all_misclassified_outside_known_languages(self, test_corpus):
+        report = evaluate_classifier(_FixedClassifier("zz"), test_corpus)
+        assert report.average_accuracy == 0.0
+        # unknown predictions never land in the confusion matrix at all
+        assert int(report.confusion.sum()) == 0
+        assert len(report.misclassified) == len(test_corpus)
+
+    def test_record_misclassified_flag_suppresses_listing(self, test_corpus):
+        report = evaluate_classifier(
+            _FixedClassifier("zz"), test_corpus, record_misclassified=False
+        )
+        assert report.misclassified == []
+        assert report.average_accuracy == 0.0
+
+    def test_batch_evaluation_matches_sequential_and_records_confidence(
+        self, profiles, test_corpus
+    ):
+        from repro.analysis.accuracy import evaluate_classifier_batch
+        from repro.api import ClassifierConfig, LanguageIdentifier
+
+        identifier = LanguageIdentifier(
+            ClassifierConfig(m_bits=16 * 1024, k=4, seed=1, backend="bloom")
+        )
+        identifier.train_profiles(profiles)
+        sequential = evaluate_classifier(identifier, test_corpus)
+        batched = evaluate_classifier_batch(identifier, test_corpus)
+        assert np.array_equal(sequential.confusion, batched.confusion)
+        assert sequential.per_language_accuracy == batched.per_language_accuracy
+        # both paths evaluate ClassificationResults, so confidences are recorded
+        assert batched.confidences.size == len(test_corpus)
+        assert sequential.confidences.size == len(test_corpus)
+        np.testing.assert_allclose(sequential.confidences, batched.confidences)
+        assert batched.correct_mask.mean() == pytest.approx(batched.overall_accuracy)
+
+    def test_batch_evaluation_empty_corpus(self, profiles):
+        from repro.analysis.accuracy import evaluate_classifier_batch
+        from repro.api import ClassifierConfig, LanguageIdentifier
+        from repro.corpus.corpus import Corpus
+
+        identifier = LanguageIdentifier(ClassifierConfig(backend="exact"))
+        identifier.train_profiles(profiles)
+        report = evaluate_classifier_batch(identifier, Corpus())
+        assert report.languages == []
+        assert report.confidences.size == 0
+
+
 @pytest.fixture(scope="module")
 def sweep_corpora(corpus):
     return corpus.split(train_fraction=0.25, seed=7)

@@ -220,36 +220,86 @@ class TestEndToEndCLI:
         flat_line = capsys.readouterr().out.splitlines()[-1].split(": ", 1)[1]
         assert npz_line == flat_line  # same language and same top-3 counts
 
-    def test_evaluate_prints_accuracy(self, capsys):
-        exit_code = main(
-            [
-                "evaluate",
-                "--languages", "en,fi",
-                "--docs-per-language", "6",
-                "--words-per-document", "150",
-                "--train-fraction", "0.34",
-                "--profile-size", "800",
-            ]
-        )
+    #: small fast evaluation-matrix invocation shared by the evaluate tests
+    EVALUATE_ARGS = [
+        "evaluate",
+        "--languages", "en,fi",
+        "--docs-per-language", "6",
+        "--words-per-document", "150",
+        "--train-fraction", "0.34",
+        "--profile-size", "800",
+        "--lengths", "10,40",
+        "--scenarios", "clean,typo:0.1",
+    ]
+
+    def test_evaluate_prints_accuracy_matrix(self, capsys):
+        exit_code = main(self.EVALUATE_ARGS)
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "average accuracy" in output
         assert "%" in output
+        assert "Evaluation matrix" in output
+        assert "Degradation curves" in output
+        assert "Confidence calibration" in output
+        # default backend trio appears as matrix columns
+        for backend in ("bloom", "exact", "mguesser"):
+            assert backend in output
 
     def test_evaluate_with_exact_backend(self, capsys):
-        exit_code = main(
-            [
-                "evaluate",
-                "--languages", "en,fi",
-                "--docs-per-language", "6",
-                "--words-per-document", "150",
-                "--train-fraction", "0.34",
-                "--profile-size", "800",
-                "--backend", "exact",
-            ]
-        )
+        exit_code = main(self.EVALUATE_ARGS + ["--backend", "exact"])
         assert exit_code == 0
-        assert "average accuracy" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "average accuracy" in output
+        assert "mguesser" not in output  # --backend narrows the matrix to one engine
+
+    def test_evaluate_json_output(self, capsys):
+        import json
+
+        exit_code = main(self.EVALUATE_ARGS + ["--backends", "bloom,exact", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backends"] == ["bloom", "exact"]
+        assert payload["lengths"] == [10, 40]
+        assert len(payload["cells"]) == 2 * 2 * 2
+        assert "curves" in payload and "calibrators" in payload
+
+    def test_evaluate_golden_round_trip(self, tmp_path, capsys):
+        golden_path = tmp_path / "golden.json"
+        assert main(self.EVALUATE_ARGS + ["--write-golden", str(golden_path)]) == 0
+        assert golden_path.exists()
+        capsys.readouterr()
+        # same seeded configuration → no drift, exit 0
+        assert main(self.EVALUATE_ARGS + ["--check-golden", str(golden_path)]) == 0
+        # a different noise matrix → structural drift, exit 1
+        drifted = [
+            arg if arg != "clean,typo:0.1" else "clean,typo:0.3"
+            for arg in self.EVALUATE_ARGS
+        ]
+        capsys.readouterr()
+        assert main(drifted + ["--check-golden", str(golden_path)]) == 1
+        assert "GOLDEN DRIFT" in capsys.readouterr().err
+
+    def test_evaluate_without_clean_scenario_still_renders(self, capsys):
+        args = [
+            arg if arg != "clean,typo:0.1" else "typo:0.1,typo:0.3"
+            for arg in self.EVALUATE_ARGS
+        ]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        # the baseline falls back to the first scenario instead of crashing
+        assert "typo:0.1" in output
+        assert "average accuracy" in output
+
+    def test_evaluate_rejects_bad_axis_specs(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--backends", "bloom,nope"])
+        assert "unknown backends" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--lengths", "10,0"])
+        assert "positive integers" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--backends", "bloom,bloom"])
+        assert "duplicate" in capsys.readouterr().err
 
     def test_tables_prints_model_vs_paper(self, capsys):
         assert main(["tables"]) == 0

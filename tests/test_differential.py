@@ -29,6 +29,7 @@ import pytest
 
 from repro.api import ClassifierConfig, LanguageIdentifier
 from repro.corpus.corpus import build_jrc_acquis_like
+from repro.corpus.generator import DocumentGenerator
 from repro.serve import ClassificationService, ServeConfig
 
 LANGUAGES = ["en", "fr", "es", "pt", "cs"]
@@ -144,6 +145,58 @@ class TestBackendAgreement:
             for document, batched in zip(documents, batch):
                 single = identifier.classify(document)
                 assert single.match_counts == batched.match_counts, name
+
+
+# ------------------------------------------------------------------- segmentation
+
+
+class TestSegmentClassifyAgreement:
+    """``segment()`` must degenerate to ``classify()`` on single-language input.
+
+    The windowed scorer, the smoothing pass and the span merger all sit on top
+    of the same per-n-gram hit primitive ``classify`` votes with; on a document
+    with no language switch, every backend's segmentation must collapse to one
+    span covering the whole document whose label is exactly the ``classify``
+    verdict — anything else means the segmentation pipeline distorts the
+    counters it is built on.
+    """
+
+    @pytest.fixture(scope="class")
+    def all_identifiers(self, identifiers):
+        """The differential trio plus the mguesser scoring backend, same profiles."""
+        mguesser = LanguageIdentifier(
+            identifiers["bloom"].config.replace(backend="mguesser")
+        )
+        mguesser.train_profiles(identifiers["bloom"].profiles)
+        return {**identifiers, "mguesser": mguesser}
+
+    def test_single_language_documents_return_one_span_matching_classify(
+        self, all_identifiers
+    ):
+        assert set(all_identifiers) == {"bloom", "exact", "hw-sim", "mguesser"}
+        for language in LANGUAGES:
+            text = DocumentGenerator(language, seed=31, related_blend=0.0).generate_document(
+                n_words=260, index=1
+            )
+            for name, identifier in all_identifiers.items():
+                result = identifier.segment(text)
+                assert len(result.spans) == 1, (
+                    f"{name} split a single-language {language} document into "
+                    f"{[span.language for span in result.spans]}"
+                )
+                span = result.spans[0]
+                assert (span.start, span.end) == (0, len(text)), name
+                assert span.language == identifier.classify(text).language, name
+
+    def test_short_single_language_documents_also_degenerate(self, all_identifiers):
+        """Sub-window documents exercise the tail-flush single-window path."""
+        for name, identifier in all_identifiers.items():
+            text = DocumentGenerator("fr", seed=32, related_blend=0.0).generate_document(
+                n_words=12, index=0
+            )
+            result = identifier.segment(text)
+            assert len(result.spans) == 1, name
+            assert result.spans[0].language == identifier.classify(text).language, name
 
 
 # ------------------------------------------------------------------- executors

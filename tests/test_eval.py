@@ -1,0 +1,480 @@
+"""Unit tests for the robustness evaluation subsystem.
+
+Covers the seeded noise channels (:mod:`repro.corpus.noise`), the scenario
+registry, reliability/ECE calibration and the fitted calibrator
+(:mod:`repro.eval.calibration`), the matrix runner (:mod:`repro.eval.matrix`),
+and the golden comparison logic (:mod:`repro.eval.golden`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ClassifierConfig, LanguageIdentifier
+from repro.corpus.corpus import Corpus, Document
+from repro.corpus.generator import DocumentGenerator
+from repro.corpus.noise import (
+    CaseNoiseChannel,
+    ComposeChannel,
+    DigitPunctuationChannel,
+    IdentityChannel,
+    NoisyDocumentGenerator,
+    TruncateChannel,
+    TypoChannel,
+    WhitespaceCollapseChannel,
+)
+from repro.eval import (
+    DEFAULT_SCENARIOS,
+    ConfidenceCalibrator,
+    Scenario,
+    compare_to_golden,
+    expected_calibration_error,
+    golden_from_matrix,
+    parse_scenario,
+    parse_scenarios,
+    reliability,
+    run_matrix,
+)
+
+SAMPLE = (
+    "The committee shall adopt the implementing measures referred to in this "
+    "article in accordance with the procedure laid down in the previous section."
+)
+
+
+# ------------------------------------------------------------------ noise channels
+
+
+class TestNoiseChannels:
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            TypoChannel(0.2),
+            CaseNoiseChannel(0.5),
+            DigitPunctuationChannel(0.4),
+            TruncateChannel(5),
+            WhitespaceCollapseChannel(),
+            TruncateChannel(8).then(TypoChannel(0.3)),
+        ],
+    )
+    def test_deterministic_in_seed_and_index(self, channel):
+        first = channel.corrupt(SAMPLE, seed=7, index=3)
+        again = channel.corrupt(SAMPLE, seed=7, index=3)
+        other_index = channel.corrupt(SAMPLE, seed=7, index=4)
+        other_seed = channel.corrupt(SAMPLE, seed=8, index=3)
+        assert first == again
+        # identity-like channels may coincide, but the randomized ones must not
+        if not isinstance(channel, (TruncateChannel, WhitespaceCollapseChannel)):
+            assert first != other_index or first != other_seed
+
+    def test_identity_channel_passes_through(self):
+        assert IdentityChannel().corrupt(SAMPLE, seed=1, index=2) == SAMPLE
+
+    def test_typo_zero_rate_is_identity(self):
+        assert TypoChannel(0.0).corrupt(SAMPLE, seed=1) == SAMPLE
+
+    def test_typo_changes_text_at_positive_rate(self):
+        corrupted = TypoChannel(0.3).corrupt(SAMPLE, seed=1)
+        assert corrupted != SAMPLE
+
+    def test_typo_drop_only_shrinks(self):
+        corrupted = TypoChannel(0.5, edits=("drop",)).corrupt(SAMPLE, seed=2)
+        assert len(corrupted) < len(SAMPLE)
+
+    def test_typo_swap_only_preserves_multiset(self):
+        corrupted = TypoChannel(0.5, edits=("swap",)).corrupt(SAMPLE, seed=2)
+        assert sorted(corrupted) == sorted(SAMPLE)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_validation(self, rate):
+        with pytest.raises(ValueError):
+            TypoChannel(rate)
+        with pytest.raises(ValueError):
+            CaseNoiseChannel(rate)
+        with pytest.raises(ValueError):
+            DigitPunctuationChannel(rate)
+
+    def test_typo_edit_validation(self):
+        with pytest.raises(ValueError):
+            TypoChannel(0.1, edits=("transpose",))
+        with pytest.raises(ValueError):
+            TypoChannel(0.1, edits=())
+
+    def test_case_noise_is_case_preserving_modulo_case(self):
+        corrupted = CaseNoiseChannel(0.7).corrupt(SAMPLE, seed=3)
+        assert corrupted != SAMPLE
+        assert corrupted.lower() == SAMPLE.lower()
+
+    def test_digit_punctuation_preserves_original_words(self):
+        corrupted = DigitPunctuationChannel(0.6).corrupt(SAMPLE, seed=4)
+        original_words = SAMPLE.split()
+        corrupted_words = corrupted.split()
+        assert len(corrupted_words) > len(original_words)
+        # the original words appear in order as a subsequence
+        position = 0
+        for word in corrupted_words:
+            if position < len(original_words) and word == original_words[position]:
+                position += 1
+        assert position == len(original_words)
+
+    def test_truncate_caps_word_count(self):
+        corrupted = TruncateChannel(5).corrupt(SAMPLE, seed=0)
+        assert len(corrupted.split()) == 5
+        assert SAMPLE.startswith(corrupted)
+
+    def test_truncate_leaves_short_text_alone(self):
+        assert TruncateChannel(10_000).corrupt(SAMPLE, seed=0) == SAMPLE
+
+    def test_truncate_validation(self):
+        with pytest.raises(ValueError):
+            TruncateChannel(0)
+
+    def test_whitespace_collapse(self):
+        text = "one\n\ntwo   three\tfour"
+        assert WhitespaceCollapseChannel().corrupt(text, seed=0) == "one two three four"
+
+    def test_compose_applies_left_to_right(self):
+        composed = TruncateChannel(3).then(WhitespaceCollapseChannel())
+        corrupted = composed.corrupt("a  b\n\nc d e", seed=0)
+        assert corrupted == "a b c"
+        assert isinstance(composed, ComposeChannel)
+        assert composed.name == "truncate+whitespace"
+
+    def test_corrupt_corpus_preserves_labels_and_ids(self):
+        corpus = Corpus(
+            [Document(doc_id=f"d{i}", language="en", text=SAMPLE) for i in range(4)]
+        )
+        corrupted = TypoChannel(0.2).corrupt_corpus(corpus, seed=11)
+        assert len(corrupted) == 4
+        assert [d.doc_id for d in corrupted] == [d.doc_id for d in corpus]
+        assert [d.language for d in corrupted] == [d.language for d in corpus]
+        # identical input text, but per-position RNGs: documents diverge
+        texts = [d.text for d in corrupted]
+        assert len(set(texts)) > 1
+        again = TypoChannel(0.2).corrupt_corpus(corpus, seed=11)
+        assert [d.text for d in again] == texts
+
+    def test_noisy_generator_wraps_any_generator(self):
+        generator = DocumentGenerator("en", seed=3)
+        noisy = NoisyDocumentGenerator(generator, TypoChannel(0.1), seed=9)
+        clean = generator.generate_document(n_words=50, index=1)
+        corrupted = noisy.generate_document(n_words=50, index=1)
+        assert corrupted != clean
+        assert corrupted == noisy.generate_document(n_words=50, index=1)
+        batch = noisy.generate_documents(3, n_words=30)
+        assert len(batch) == 3
+        assert batch[0] == noisy.generate_document(n_words=30, index=0)
+        assert batch == noisy.generate_documents(3, words_per_document=30)
+        with pytest.raises(TypeError):
+            noisy.generate_documents(3, n_words=30, words_per_document=40)
+        with pytest.raises(ValueError):
+            noisy.generate_documents(-1)
+
+
+# ------------------------------------------------------------------ scenarios
+
+
+class TestScenarios:
+    def test_parse_with_level(self):
+        scenario = parse_scenario("typo:0.05")
+        assert scenario.family == "typo" and scenario.level == 0.05
+        assert scenario.name == "typo:0.05"
+
+    def test_parse_without_level(self):
+        assert parse_scenario("clean").name == "clean"
+        assert parse_scenario(" whitespace ").family == "whitespace"
+
+    @pytest.mark.parametrize("spec", ["", "nosuch", "typo:abc", "typo:-1"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_scenario(spec)
+
+    def test_parse_scenarios_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            parse_scenarios("typo:0.1,typo:0.1")
+
+    def test_default_scenarios_cover_required_families(self):
+        families = {scenario.family for scenario in DEFAULT_SCENARIOS}
+        assert {"clean", "typo", "case", "digits", "whitespace"} <= families
+        # >= 4 distinct noise scenarios beyond the clean baseline
+        assert sum(1 for s in DEFAULT_SCENARIOS if s.family != "clean") >= 4
+
+    def test_scenario_channel_round_trip(self):
+        channel = Scenario("typo", 0.2).channel()
+        assert channel.rate == 0.2
+
+    def test_parameterless_noise_family_level_is_normalised(self):
+        # whatever the construction path, "whitespace" means level 1.0 —
+        # keeping its degradation-curve point off the clean level-0.0 origin
+        assert Scenario("whitespace").level == 1.0
+        assert parse_scenario("whitespace").level == 1.0
+        assert Scenario("whitespace") == parse_scenario("whitespace")
+        assert Scenario("whitespace", 0.7).level == 0.7  # explicit levels win
+        # ...and a non-default level shows in the name, so two whitespace
+        # scenarios at different levels never collide as cell keys
+        assert Scenario("whitespace", 0.7).name == "whitespace:0.7"
+        assert Scenario("clean").level == 0.0  # the clean origin stays at 0
+
+
+# ------------------------------------------------------------------ calibration
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_predictor(self):
+        rng = np.random.default_rng(0)
+        confidences = np.full(4000, 0.7)
+        correct = rng.random(4000) < 0.7
+        ece = expected_calibration_error(confidences, correct)
+        assert ece < 0.05
+
+    def test_overconfident_predictor_has_large_ece(self):
+        confidences = np.full(100, 0.95)
+        correct = np.zeros(100, dtype=bool)
+        assert expected_calibration_error(confidences, correct) > 0.9
+
+    def test_hand_computed_two_bin_case(self):
+        # bin [0.0,0.5): conf 0.25 acc 1.0; bin [0.5,1.0]: conf 0.75 acc 0.0
+        confidences = [0.25, 0.25, 0.75, 0.75]
+        correct = [True, True, False, False]
+        report = reliability(confidences, correct, n_bins=2)
+        assert report.ece == pytest.approx(0.5 * 0.75 + 0.5 * 0.75)
+        assert report.bin_counts.tolist() == [2, 2]
+        assert report.accuracy == 0.5
+
+    def test_empty_inputs(self):
+        report = reliability([], [])
+        assert report.ece == 0.0 and report.samples == 0
+        assert report.accuracy == 0.0 and report.mean_confidence == 0.0
+
+    def test_confidence_one_lands_in_last_bin(self):
+        report = reliability([1.0], [True], n_bins=10)
+        assert report.bin_counts[-1] == 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            reliability([0.5], [True, False])
+        with pytest.raises(ValueError):
+            reliability([1.5], [True])
+        with pytest.raises(ValueError):
+            reliability([0.5], [True], n_bins=0)
+
+    def test_report_to_json_round_trips_through_json(self):
+        import json
+
+        report = reliability([0.2, 0.9], [False, True], n_bins=4)
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["samples"] == 2
+        assert len(payload["bin_counts"]) == 4
+
+    def test_calibrator_is_monotone_even_on_noisy_bins(self):
+        rng = np.random.default_rng(3)
+        confidences = rng.random(2000)
+        # correctness only loosely follows confidence: bin accuracies will wobble
+        correct = rng.random(2000) < np.clip(confidences + rng.normal(0, 0.3, 2000), 0, 1)
+        calibrator = ConfidenceCalibrator.fit(confidences, correct)
+        grid = np.linspace(0.0, 1.0, 101)
+        assert np.all(np.diff(calibrator(grid)) >= -1e-12)
+
+    def test_calibrator_reduces_ece_of_miscalibrated_scores(self):
+        rng = np.random.default_rng(4)
+        # raw scores concentrated low while the predictor is usually right —
+        # the exact shape of the classifier's normalized-separation confidence
+        confidences = np.clip(rng.normal(0.3, 0.1, 3000), 0.0, 1.0)
+        correct = rng.random(3000) < 0.97
+        raw_ece = expected_calibration_error(confidences, correct)
+        calibrator = ConfidenceCalibrator.fit(confidences, correct)
+        calibrated_ece = expected_calibration_error(calibrator(confidences), correct)
+        assert raw_ece > 0.5
+        assert calibrated_ece < 0.05
+
+    def test_calibrator_round_trip_serialisation(self):
+        calibrator = ConfidenceCalibrator.fit([0.2, 0.4, 0.8], [False, True, True], n_bins=4)
+        restored = ConfidenceCalibrator.from_dict(calibrator.to_dict())
+        grid = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(restored(grid), calibrator(grid))
+
+    def test_calibrator_scalar_helper(self):
+        calibrator = ConfidenceCalibrator(np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0]))
+        assert calibrator.calibrate_one(0.4) == pytest.approx(0.4)
+
+    def test_calibrator_fit_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceCalibrator.fit([], [])
+        with pytest.raises(ValueError):
+            ConfidenceCalibrator(np.asarray([0.5, 0.2]), np.asarray([0.1, 0.9]))
+
+
+# ------------------------------------------------------------------ matrix
+
+
+@pytest.fixture(scope="module")
+def trained_pair(train_corpus):
+    config = ClassifierConfig(m_bits=8 * 1024, k=4, t=1200, seed=2, backend="bloom")
+    bloom = LanguageIdentifier(config).train(train_corpus)
+    exact = LanguageIdentifier(config.replace(backend="exact"))
+    exact.train_profiles(bloom.profiles)
+    return {"bloom": bloom, "exact": exact}
+
+
+@pytest.fixture(scope="module")
+def small_matrix(trained_pair, test_corpus):
+    scenarios = (Scenario("clean"), Scenario("typo", 0.1), Scenario("digits", 0.3))
+    return run_matrix(trained_pair, test_corpus, scenarios=scenarios, lengths=(20, 120), seed=3)
+
+
+class TestMatrix:
+    def test_grid_shape_and_lookup(self, small_matrix):
+        assert len(small_matrix.cells) == 2 * 3 * 2
+        cell = small_matrix.cell("bloom", "typo:0.1", 20)
+        assert cell.backend == "bloom" and cell.length == 20
+        with pytest.raises(KeyError):
+            small_matrix.cell("bloom", "typo:0.1", 999)
+
+    def test_clean_cell_is_longest_length(self, small_matrix):
+        assert small_matrix.clean_cell("exact").length == 120
+
+    def test_reports_are_real_accuracy_reports(self, small_matrix, test_corpus):
+        cell = small_matrix.clean_cell("bloom")
+        assert cell.report.confusion.shape == (6, 6)
+        assert cell.documents == len(test_corpus)
+        assert cell.report.confidences.size == len(test_corpus)
+        assert 0.9 <= cell.average_accuracy <= 1.0
+
+    def test_noise_curve_starts_at_clean_origin(self, small_matrix):
+        curve = small_matrix.accuracy_vs_noise("bloom", "typo")
+        assert curve[0][0] == 0.0
+        assert [level for level, _ in curve] == sorted(level for level, _ in curve)
+        clean_accuracy = small_matrix.clean_cell("bloom").average_accuracy
+        assert curve[0][1] == pytest.approx(clean_accuracy)
+
+    def test_length_curve_sorted(self, small_matrix):
+        curve = small_matrix.accuracy_vs_length("bloom", "clean")
+        assert [length for length, _ in curve] == [20, 120]
+
+    def test_backends_share_identical_corruption(self, small_matrix):
+        # exact and bloom were shown the same corrupted bytes: their reports
+        # evaluated the same number of documents with the same language set
+        for scenario in ("clean", "typo:0.1", "digits:0.3"):
+            bloom_cell = small_matrix.cell("bloom", scenario, 20)
+            exact_cell = small_matrix.cell("exact", scenario, 20)
+            assert bloom_cell.report.languages == exact_cell.report.languages
+            assert bloom_cell.report.confusion.sum() == exact_cell.report.confusion.sum()
+
+    def test_calibrators_fitted_per_backend(self, small_matrix):
+        assert set(small_matrix.calibrators) == {"bloom", "exact"}
+        cell = small_matrix.clean_cell("bloom")
+        assert cell.calibration.ece_raw is not None
+        assert cell.ece <= cell.calibration.ece_raw
+
+    def test_to_json_structure(self, small_matrix):
+        import json
+
+        payload = json.loads(json.dumps(small_matrix.to_json()))
+        assert payload["backends"] == ["bloom", "exact"]
+        assert len(payload["cells"]) == len(small_matrix.cells)
+        assert "accuracy_vs_noise" in payload["curves"]["bloom"]
+        assert "typo" in payload["curves"]["bloom"]["accuracy_vs_noise"]
+        assert "calibrators" in payload
+
+    def test_all_noise_matrix_has_a_baseline(self, trained_pair, test_corpus):
+        # no clean scenario: the baseline falls back to the first scenario, so
+        # clean_cell() (and the CLI summary built on it) still resolves
+        matrix = run_matrix(
+            trained_pair,
+            test_corpus,
+            scenarios=(Scenario("typo", 0.1), Scenario("typo", 0.3)),
+            lengths=(20, 60),
+        )
+        assert matrix.baseline_scenario.name == "typo:0.1"
+        cell = matrix.clean_cell("bloom")
+        assert cell.scenario == "typo:0.1" and cell.length == 60
+        # the calibrator anchor matches the baseline cell
+        assert cell.ece <= cell.calibration.ece_raw
+
+    def test_train_identifiers_shares_profiles(self, train_corpus):
+        from repro.eval import train_identifiers
+
+        config = ClassifierConfig(m_bits=8 * 1024, k=4, t=1000, seed=2, backend="bloom")
+        identifiers = train_identifiers(config, ("bloom", "exact"), train_corpus)
+        assert list(identifiers) == ["bloom", "exact"]
+        assert identifiers["exact"].profiles is not None
+        assert identifiers["bloom"].profiles.keys() == identifiers["exact"].profiles.keys()
+        assert identifiers["exact"].config.backend == "exact"
+        with pytest.raises(ValueError):
+            train_identifiers(config, (), train_corpus)
+
+    def test_single_identifier_shorthand(self, trained_pair, test_corpus):
+        matrix = run_matrix(
+            trained_pair["bloom"],
+            test_corpus,
+            scenarios=(Scenario("clean"),),
+            lengths=(30,),
+        )
+        assert matrix.backends == ["bloom"]
+        assert len(matrix.cells) == 1
+
+    def test_identifier_evaluate_surface(self, trained_pair, test_corpus):
+        matrix = trained_pair["bloom"].evaluate(
+            test_corpus, scenarios=(Scenario("clean"), Scenario("typo", 0.2)), lengths=(25,)
+        )
+        assert matrix.backends == ["bloom"]
+        assert len(matrix.cells) == 2
+
+    def test_untrained_identifier_rejected(self, test_corpus):
+        untrained = LanguageIdentifier(ClassifierConfig(backend="exact"))
+        with pytest.raises(RuntimeError):
+            run_matrix(untrained, test_corpus, lengths=(10,))
+        with pytest.raises(RuntimeError):
+            untrained.evaluate(test_corpus)
+
+    def test_argument_validation(self, trained_pair, test_corpus):
+        with pytest.raises(ValueError):
+            run_matrix(trained_pair, test_corpus, lengths=())
+        with pytest.raises(ValueError):
+            run_matrix(trained_pair, test_corpus, lengths=(0,))
+        with pytest.raises(ValueError):
+            run_matrix(trained_pair, test_corpus, scenarios=())
+        with pytest.raises(ValueError):
+            run_matrix({}, test_corpus)
+        with pytest.raises(ValueError, match="duplicate scenario names"):
+            run_matrix(
+                trained_pair,
+                test_corpus,
+                scenarios=(Scenario("typo", 0.1), Scenario("typo", 0.1)),
+                lengths=(20,),
+            )
+
+
+# ------------------------------------------------------------------ golden comparison
+
+
+class TestGoldenComparison:
+    def test_fresh_matrix_matches_its_own_golden(self, small_matrix):
+        golden = golden_from_matrix(small_matrix)
+        assert compare_to_golden(small_matrix, golden) == []
+
+    def test_metric_drift_is_reported(self, small_matrix):
+        golden = golden_from_matrix(small_matrix)
+        key = next(iter(golden["cells"]))
+        golden["cells"][key]["average_accuracy"] -= 0.5
+        drift = compare_to_golden(small_matrix, golden)
+        assert len(drift) == 1
+        assert "average_accuracy" in drift[0] and key in drift[0]
+
+    def test_drift_within_tolerance_is_ignored(self, small_matrix):
+        golden = golden_from_matrix(small_matrix)
+        key = next(iter(golden["cells"]))
+        golden["cells"][key]["average_accuracy"] += 0.001
+        assert compare_to_golden(small_matrix, golden) == []
+
+    def test_missing_and_extra_cells_are_structural_drift(self, small_matrix):
+        golden = golden_from_matrix(small_matrix)
+        key = next(iter(golden["cells"]))
+        removed = golden["cells"].pop(key)
+        golden["cells"]["bloom|nosuch|12"] = removed
+        drift = compare_to_golden(small_matrix, golden)
+        assert any("missing from the golden" in message for message in drift)
+        assert any("was not evaluated" in message for message in drift)
+
+    def test_version_mismatch_fails_loudly(self, small_matrix):
+        drift = compare_to_golden(small_matrix, {"version": 99, "cells": {}})
+        assert len(drift) == 1 and "version" in drift[0]

@@ -1,0 +1,109 @@
+"""Golden regression gate for the robustness evaluation matrix.
+
+Runs a fully-seeded (backend × scenario × length) matrix and compares every
+cell's accuracy/calibration metrics against the committed golden
+(``tests/goldens/eval_matrix.json``) with the tolerances of
+:data:`repro.eval.golden.DEFAULT_TOLERANCES`.  Any PR that silently degrades
+accuracy on any scenario cell — more Bloom false positives, a broken extractor
+edge case, a confidence regression — fails here, in tier-1.
+
+After an *intentional* change to accuracy-relevant code, refresh with::
+
+    PYTHONPATH=src python -m pytest tests/test_eval_golden.py --update-goldens
+
+and commit the updated golden together with the change that explains it.
+
+The configuration below is frozen on purpose (independent of the shared session
+fixtures): the golden pins these exact bytes.  Changing any constant requires
+regenerating the golden.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import ClassifierConfig
+from repro.corpus.corpus import build_jrc_acquis_like
+from repro.eval import (
+    DEFAULT_SCENARIOS,
+    compare_to_golden,
+    load_golden,
+    run_matrix,
+    train_identifiers,
+    write_golden,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "eval_matrix.json"
+
+#: frozen matrix configuration — the golden pins exactly this setup
+GOLDEN_LANGUAGES = ("en", "fr", "es", "pt", "fi", "et")
+GOLDEN_DOCS_PER_LANGUAGE = 12
+GOLDEN_WORDS_PER_DOCUMENT = 250
+GOLDEN_CORPUS_SEED = 1234
+GOLDEN_SPLIT = (0.25, 99)
+GOLDEN_NOISE_SEED = 5
+GOLDEN_LENGTHS = (15, 60, 200)
+GOLDEN_BACKENDS = ("bloom", "exact", "mguesser")
+GOLDEN_CONFIG = dict(m_bits=16 * 1024, k=4, t=1500, seed=0)
+
+
+@pytest.fixture(scope="module")
+def eval_matrix():
+    corpus = build_jrc_acquis_like(
+        languages=GOLDEN_LANGUAGES,
+        docs_per_language=GOLDEN_DOCS_PER_LANGUAGE,
+        words_per_document=GOLDEN_WORDS_PER_DOCUMENT,
+        seed=GOLDEN_CORPUS_SEED,
+    )
+    train, test = corpus.split(train_fraction=GOLDEN_SPLIT[0], seed=GOLDEN_SPLIT[1])
+    config = ClassifierConfig(backend=GOLDEN_BACKENDS[0], **GOLDEN_CONFIG)
+    identifiers = train_identifiers(config, GOLDEN_BACKENDS, train)
+    return run_matrix(
+        identifiers,
+        test,
+        scenarios=DEFAULT_SCENARIOS,
+        lengths=GOLDEN_LENGTHS,
+        seed=GOLDEN_NOISE_SEED,
+    )
+
+
+def test_matrix_matches_committed_golden(eval_matrix, request):
+    if request.config.getoption("--update-goldens"):
+        path = write_golden(eval_matrix, GOLDEN_PATH)
+        pytest.skip(f"golden refreshed at {path}; commit the diff")
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate it with "
+        "`python -m pytest tests/test_eval_golden.py --update-goldens`"
+    )
+    drift = compare_to_golden(eval_matrix, load_golden(GOLDEN_PATH))
+    assert not drift, "evaluation matrix drifted from the golden:\n" + "\n".join(drift)
+
+
+def test_golden_covers_the_full_matrix(eval_matrix):
+    """Structural sanity: one golden cell per (backend, scenario, length)."""
+    expected = len(GOLDEN_BACKENDS) * len(DEFAULT_SCENARIOS) * len(GOLDEN_LENGTHS)
+    assert len(eval_matrix.cells) == expected
+    if GOLDEN_PATH.exists():
+        assert len(load_golden(GOLDEN_PATH)["cells"]) == expected
+
+
+def test_clean_cells_stay_calibrated(eval_matrix):
+    """The acceptance floor: calibrated ECE <= 0.15 on the clean cells.
+
+    The full-length cell is where the calibrator was fitted (in-sample, so its
+    low ECE is a sanity check, not evidence); the middle-length clean cell is
+    genuinely out-of-sample and is the meaningful gate.
+    """
+    held_out_length = sorted(GOLDEN_LENGTHS)[-2]
+    for backend in GOLDEN_BACKENDS:
+        fitted = eval_matrix.clean_cell(backend)
+        assert fitted.ece <= 0.15, f"{backend} fitted-cell ECE {fitted.ece:.3f} exceeds 0.15"
+        assert fitted.ece <= fitted.calibration.ece_raw
+        held_out = eval_matrix.cell(backend, "clean", held_out_length)
+        assert held_out.ece <= 0.15, (
+            f"{backend} held-out ECE {held_out.ece:.3f} (clean @ {held_out_length} words) "
+            "exceeds 0.15"
+        )
+        assert held_out.ece <= held_out.calibration.ece_raw

@@ -190,3 +190,125 @@ def test_xor_checksum_self_inverse(words):
     doubled = np.concatenate([arr, arr])
     assert xor_checksum(doubled) == 0
     assert xor_checksum(np.concatenate([arr, np.asarray([checksum], dtype=np.uint64)])) == 0
+
+
+# -- windowed scorer ---------------------------------------------------------------
+
+
+class _SyntheticHitsBackend:
+    """Deterministic stand-in backend for :class:`repro.segment.windows.WindowedScorer`.
+
+    ``ngram_hits`` is a pure function of the packed values — per-(language,
+    n-gram) scores derived arithmetically — so the cumulative-sum window counts
+    can be checked against a naive per-window recount without training anything.
+    ``magnitude`` scales the scores up to the int32 range to exercise the
+    dtype/overflow edge: on large documents, summing such scores in anything
+    narrower than int64 would wrap.
+    """
+
+    def __init__(self, n_languages: int, magnitude: int = 3):
+        self._languages = [f"l{i}" for i in range(n_languages)]
+        self.magnitude = int(magnitude)
+
+    @property
+    def languages(self):
+        return list(self._languages)
+
+    def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
+        packed = np.asarray(packed, dtype=np.uint64)
+        lanes = np.arange(len(self._languages), dtype=np.uint64)[:, None]
+        scores = (packed[None, :] * (lanes + 3) + lanes * 7) % np.uint64(self.magnitude)
+        return scores.astype(np.int64)
+
+
+def _naive_window_recount(hits: np.ndarray, starts, ends) -> np.ndarray:
+    """O(windows * window) reference: re-sum every window's columns in int64."""
+    if len(starts) == 0:
+        return np.zeros((0, hits.shape[0]), dtype=np.int64)
+    return np.stack(
+        [hits[:, start:end].sum(axis=1, dtype=np.int64) for start, end in zip(starts, ends)]
+    )
+
+
+@given(
+    window=st.integers(min_value=1, max_value=64),
+    stride=st.integers(min_value=1, max_value=64),
+    n_ngrams=st.integers(min_value=0, max_value=500),
+    n_languages=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_windowed_scorer_matches_naive_recount(window, stride, n_ngrams, n_languages, seed):
+    from hypothesis import assume
+
+    from repro.segment.windows import WindowedScorer
+
+    assume(stride <= window)
+    backend = _SyntheticHitsBackend(n_languages)
+    scorer = WindowedScorer(backend, window_ngrams=window, stride_ngrams=stride)
+    packed = np.random.default_rng(seed).integers(0, 1 << 20, size=n_ngrams, dtype=np.uint64)
+    scores = scorer.score(packed)
+
+    hits = backend.ngram_hits(packed)
+    np.testing.assert_array_equal(
+        scores.counts, _naive_window_recount(hits, scores.starts, scores.ends)
+    )
+    # structural invariants: windows are clipped to the document, never longer
+    # than the configured window, and (via the tail flush) cover every n-gram
+    assert np.all(scores.ends - scores.starts <= window)
+    assert np.all(scores.ends <= n_ngrams)
+    if n_ngrams:
+        assert scores.starts[0] == 0
+        assert scores.ends[-1] == n_ngrams
+        covered = np.zeros(n_ngrams, dtype=bool)
+        for start, end in zip(scores.starts, scores.ends):
+            covered[start:end] = True
+        assert covered.all()
+    else:
+        assert scores.n_windows == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_windowed_scorer_no_overflow_on_large_documents(seed):
+    """int32-range per-n-gram scores over a long document: the cumulative sums
+    leave int32 territory almost immediately, so any internal narrowing would
+    show up as a mismatch against the int64 naive recount."""
+    from repro.segment.windows import WindowedScorer
+
+    backend = _SyntheticHitsBackend(3, magnitude=2**31 - 1)
+    scorer = WindowedScorer(backend, window_ngrams=4096, stride_ngrams=1024)
+    # keys drawn from the full 62-bit range so the modulo actually spreads the
+    # synthetic scores across the whole int32 range
+    packed = np.random.default_rng(seed).integers(0, 1 << 62, size=20_000, dtype=np.uint64)
+    scores = scorer.score(packed)
+
+    hits = backend.ngram_hits(packed)
+    assert hits.max() > 2**30  # the scores really are int32-scale
+    assert scores.counts.max() > 2**32  # and the window sums really do exceed int32
+    np.testing.assert_array_equal(
+        scores.counts, _naive_window_recount(hits, scores.starts, scores.ends)
+    )
+    # range_counts is the same cumulative structure exposed directly
+    np.testing.assert_array_equal(
+        scores.range_counts(0, packed.size), hits.sum(axis=1, dtype=np.int64)
+    )
+
+
+def test_windowed_scorer_matches_naive_recount_on_real_backend(profiles):
+    """Same recount identity on a trained Bloom backend (0/1 hits, real text)."""
+    from repro.api import ClassifierConfig, LanguageIdentifier
+    from repro.segment.windows import WindowedScorer
+
+    config = ClassifierConfig(m_bits=8 * 1024, k=4, t=1500, seed=5, backend="bloom")
+    identifier = LanguageIdentifier(config)
+    identifier.train_profiles(profiles)
+    rng = np.random.default_rng(77)
+    for window, stride in ((160, 40), (7, 3), (33, 33)):
+        scorer = WindowedScorer(identifier.backend, window_ngrams=window, stride_ngrams=stride)
+        packed = rng.integers(0, 1 << 20, size=int(rng.integers(1, 900)), dtype=np.uint64)
+        scores = scorer.score(packed)
+        hits = identifier.backend.ngram_hits(packed)
+        np.testing.assert_array_equal(
+            scores.counts, _naive_window_recount(hits, scores.starts, scores.ends)
+        )

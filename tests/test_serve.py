@@ -195,6 +195,93 @@ class TestServiceMetrics:
         assert "repro_serve_batches_total 1" in text
         assert 'repro_serve_batch_size_total{size="2"} 1' in text
 
+    def test_percentile_empty_and_singleton_samples(self):
+        # empty reservoir: every percentile is 0.0, not an IndexError
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([], q) == 0.0
+        # singleton reservoir: every percentile is that observation
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([0.25], q) == 0.25
+        with pytest.raises(ValueError):
+            percentile([0.25], -0.1)
+
+    def test_fresh_metrics_snapshot_is_all_zeros(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["responses_total"] == 0
+        assert snapshot["mean_batch_size"] == 0.0
+        assert snapshot["batch_size_histogram"] == {}
+        assert snapshot["latency_seconds"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_reservoir_keeps_most_recent_observations(self):
+        metrics = ServiceMetrics(reservoir_size=8)
+        # 100 old slow responses followed by 8 fast ones: percentiles must
+        # reflect only the newest reservoir_size observations
+        for _ in range(100):
+            metrics.record_response(5.0)
+        for _ in range(8):
+            metrics.record_response(0.001)
+        percentiles = metrics.latency_percentiles()
+        assert percentiles["p99"] == pytest.approx(0.001)
+        # ...while the monotone counters keep the full history
+        assert metrics.responses_total == 108
+
+    def test_reservoir_size_validation(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(reservoir_size=0)
+        with pytest.raises(ValueError):
+            ServiceMetrics(reservoir_size=-5)
+
+    def test_snapshot_stable_under_concurrent_recording(self):
+        """Replica worker threads record while the event loop snapshots.
+
+        Without the metrics lock this reliably dies with "dictionary changed
+        size during iteration": every record_batch with a fresh size grows the
+        histogram Counter that snapshot()/render_text() are iterating.
+        """
+        import threading
+
+        metrics = ServiceMetrics(reservoir_size=64)
+        n_writers, per_writer = 4, 3000
+        start = threading.Barrier(n_writers + 1)
+        failures: list[BaseException] = []
+
+        def writer(offset: int) -> None:
+            try:
+                start.wait()
+                for i in range(per_writer):
+                    metrics.record_batch(offset * per_writer + i)  # always a new size
+                    metrics.record_request(17)
+                    metrics.record_response(0.001 * (i % 7))
+                    metrics.record_rejection("overload")
+            except BaseException as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(n_writers)]
+        for thread in threads:
+            thread.start()
+        try:
+            start.wait()
+            for _ in range(200):
+                snapshot = metrics.snapshot()
+                metrics.render_text()
+                metrics.batch_size_histogram()
+                metrics.latency_percentiles()
+                # each writer bumps batches then requests, so a consistent
+                # snapshot can lag by at most one in-flight pair per writer
+                lag = snapshot["batches_total"] - snapshot["requests_total"]
+                assert 0 <= lag <= n_writers
+        finally:
+            for thread in threads:
+                thread.join()
+        assert not failures, failures
+        final = metrics.snapshot()
+        expected = n_writers * per_writer
+        assert final["requests_total"] == expected
+        assert final["responses_total"] == expected
+        assert final["rejected_overload"] == expected
+        assert final["batches_total"] == expected
+        assert sum(metrics.batch_size_histogram().values()) == expected
+
 
 # ------------------------------------------------------------------- batcher
 

@@ -36,6 +36,7 @@ callers never need to say which format they were handed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zipfile
 import zlib
@@ -52,6 +53,7 @@ __all__ = [
     "FLAT_MAGIC",
     "FLAT_ALIGN",
     "ModelFormatError",
+    "model_fingerprint",
     "save_model",
     "load_model",
     "flat_model_bytes",
@@ -88,6 +90,26 @@ _STATE_PREFIX = "state/"
 
 
 # --------------------------------------------------------------------- shared pieces
+
+
+def model_fingerprint(identifier) -> bytes:
+    """128-bit digest identifying a trained model's exact behaviour.
+
+    Covers the full :class:`~repro.api.config.ClassifierConfig` (n-gram order,
+    Bloom geometry, hash family, seed, backend, ...) and every language's
+    profile arrays in training order.  Backends are deterministic functions of
+    ``(config, profiles)``, so two identifiers with equal fingerprints return
+    identical results for every document.  This is the identity the serving
+    cache keys on and the versioned model registry records in its manifests.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(identifier.config.to_dict(), sort_keys=True).encode("utf-8"))
+    for language in identifier.languages:
+        profile = identifier.profiles[language]
+        digest.update(language.encode("utf-8", "surrogatepass"))
+        digest.update(np.ascontiguousarray(profile.ngrams).tobytes())
+        digest.update(np.ascontiguousarray(profile.counts).tobytes())
+    return digest.digest()
 
 
 def _build_meta(identifier) -> dict:

@@ -28,8 +28,15 @@ Subcommands
     theoretical peak throughput.
 ``serve``
     Start the asynchronous micro-batching HTTP classification service
-    (:mod:`repro.serve`) on a saved model: ``POST /classify``,
+    (:mod:`repro.serve`) on a saved model (``--model``) or a versioned model
+    registry (``--registry`` [``--model-version``], which also enables the
+    ``POST /admin/swap`` blue/green hot-swap endpoint): ``POST /classify``,
     ``GET /healthz``, ``GET /metrics``.
+``models``
+    Manage a versioned model registry (:mod:`repro.registry`):
+    ``models publish`` stores a trained artifact as the next version,
+    ``models list`` / ``models inspect`` read manifests, ``models gc``
+    retires old versions.
 """
 
 from __future__ import annotations
@@ -461,25 +468,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ClassificationService, ServeConfig, serve_http
 
-    service = ClassificationService(
-        Path(args.model),
-        ServeConfig(
-            max_batch=args.max_batch,
-            max_delay_ms=args.max_delay_ms,
-            replicas=args.replicas,
-            executor=args.executor,
-            sharding=args.sharding,
-            cache_size=args.cache_size,
-            max_pending=args.max_pending,
-        ),
+    if (args.model is None) == (args.registry is None):
+        print("serve needs exactly one of --model or --registry", file=sys.stderr)
+        return 2
+
+    serve_config = ServeConfig(
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        replicas=args.replicas,
+        executor=args.executor,
+        sharding=args.sharding,
+        cache_size=args.cache_size,
+        max_pending=args.max_pending,
     )
+    registry = None
+    if args.registry is not None:
+        from repro.registry import ModelRegistry, ModelSwitch
+
+        registry = ModelRegistry(Path(args.registry))
+        record = registry.resolve(args.model_version)
+        service = ClassificationService(
+            registry.load(record.version), serve_config, model_version=record.name
+        )
+        service.switch = ModelSwitch(service, registry)
+    else:
+        service = ClassificationService(Path(args.model), serve_config)
 
     async def run() -> None:
         async with service:
             server = await serve_http(service, host=args.host, port=args.port)
             bound = server.sockets[0].getsockname()
+            source = (
+                f"registry {args.registry} ({service.model_version})"
+                if registry is not None
+                else f"model {args.model}"
+            )
             print(
-                f"serving {len(service.languages)} languages on http://{bound[0]}:{bound[1]} "
+                f"serving {len(service.languages)} languages from {source} "
+                f"on http://{bound[0]}:{bound[1]} "
                 f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms} ms, "
                 f"replicas={args.replicas} x {args.executor}, sharding={args.sharding})"
             )
@@ -496,6 +522,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down (drained in-flight batches)")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.registry import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(Path(args.registry))
+    try:
+        if args.models_command == "publish":
+            record = registry.publish(
+                Path(args.model),
+                parent=args.parent,
+                activate=not args.no_activate,
+            )
+            pointer = "LATEST -> " + record.name if not args.no_activate else "not activated"
+            print(
+                f"published {record.name} ({len(record.languages)} languages, "
+                f"fingerprint {record.fingerprint[:12]}…, "
+                f"parent {record.parent or '-'}; {pointer})"
+            )
+        elif args.models_command == "list":
+            summary = registry.describe()
+            print(
+                f"registry {summary['root']}: {summary['versions']} version(s), "
+                f"latest={summary['latest'] or '-'}, "
+                f"{summary['total_bytes']:,} artifact bytes"
+            )
+            for record in registry.list():
+                marker = "*" if record.name == summary["latest"] else " "
+                print(
+                    f" {marker} {record.name}  fingerprint={record.fingerprint[:12]}…  "
+                    f"languages={len(record.languages)}  parent={record.parent or '-'}"
+                )
+        elif args.models_command == "inspect":
+            record = registry.resolve(args.version)
+            print(json.dumps(record.to_json(), indent=2, sort_keys=True))
+        elif args.models_command == "gc":
+            removed = registry.gc(keep=args.keep, dry_run=args.dry_run)
+            verb = "would remove" if args.dry_run else "removed"
+            print(f"{verb} {len(removed)} version(s): {', '.join(removed) or '-'}")
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -689,7 +760,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve a saved model over HTTP with async micro-batching"
     )
-    serve.add_argument("--model", required=True, help="model artifact written by 'train'")
+    serve.add_argument(
+        "--model", default=None,
+        help="model artifact written by 'train' (or use --registry)",
+    )
+    serve.add_argument(
+        "--registry", default=None,
+        help="serve from a versioned model registry instead of a single artifact "
+        "(enables the POST /admin/swap blue/green hot-swap endpoint)",
+    )
+    serve.add_argument(
+        "--model-version", default="latest",
+        help="registry version to serve initially (default: latest)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
     serve.add_argument(
@@ -722,6 +805,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-replica queue bound; beyond it requests get 429",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    models = sub.add_parser("models", help="manage a versioned model registry")
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+
+    publish = models_sub.add_parser(
+        "publish", help="store a trained artifact as the next registry version"
+    )
+    publish.add_argument("--registry", required=True, help="registry directory")
+    publish.add_argument("--model", required=True, help="model artifact written by 'train'")
+    publish.add_argument(
+        "--parent", default=None,
+        help="parent version (records retraining lineage in the manifest)",
+    )
+    publish.add_argument(
+        "--no-activate", action="store_true",
+        help="publish without repointing LATEST (validate before cutting over)",
+    )
+    publish.set_defaults(func=_cmd_models)
+
+    models_list = models_sub.add_parser("list", help="list published versions")
+    models_list.add_argument("--registry", required=True, help="registry directory")
+    models_list.set_defaults(func=_cmd_models)
+
+    inspect = models_sub.add_parser("inspect", help="print one version's manifest as JSON")
+    inspect.add_argument("--registry", required=True, help="registry directory")
+    inspect.add_argument(
+        "--version", default="latest", help="version spec: integer, vNNNNNN, or 'latest'"
+    )
+    inspect.set_defaults(func=_cmd_models)
+
+    models_gc = models_sub.add_parser("gc", help="retire old versions")
+    models_gc.add_argument("--registry", required=True, help="registry directory")
+    models_gc.add_argument(
+        "--keep", type=_positive_int, default=3,
+        help="newest versions to keep (LATEST always survives)",
+    )
+    models_gc.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed"
+    )
+    models_gc.set_defaults(func=_cmd_models)
     return parser
 
 

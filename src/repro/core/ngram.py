@@ -26,6 +26,8 @@ __all__ = [
     "ngram_to_string",
     "count_ngrams",
     "top_ngrams",
+    "top_ngrams_from_counts",
+    "merge_ngram_counts",
     "segment_sums",
     "subsample",
     "NGramExtractor",
@@ -126,6 +128,55 @@ def top_ngrams(packed: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
     order = np.lexsort((values, -counts))
     order = order[:t]
     return values[order], counts[order]
+
+
+def top_ngrams_from_counts(
+    values: np.ndarray, counts: np.ndarray, t: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``t`` most frequent entries of an already-counted n-gram table.
+
+    Same ordering contract as :func:`top_ngrams` (decreasing count, ties by
+    ascending value) but starting from ``(values, counts)`` arrays instead of
+    a raw packed stream — the reduction step of streaming/out-of-core profile
+    building, where the full stream never exists in memory.
+    """
+    if t <= 0:
+        raise ValueError("t must be positive")
+    values = np.asarray(values, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if values.shape != counts.shape:
+        raise ValueError("values and counts must have the same length")
+    if values.size == 0:
+        return values, counts
+    order = np.lexsort((values, -counts))[:t]
+    return values[order], counts[order]
+
+
+def merge_ngram_counts(
+    values_a: np.ndarray,
+    counts_a: np.ndarray,
+    values_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two distinct-value count tables, summing counts of shared n-grams.
+
+    Both inputs must hold *distinct* values (the :func:`count_ngrams` output
+    shape); the result is sorted by ascending value.  This is the associative
+    combine step of constant-memory accumulation: chunk counts fold into a
+    bounded running table instead of concatenating raw streams.
+    """
+    values = np.concatenate(
+        [np.asarray(values_a, dtype=np.uint64), np.asarray(values_b, dtype=np.uint64)]
+    )
+    counts = np.concatenate(
+        [np.asarray(counts_a, dtype=np.int64), np.asarray(counts_b, dtype=np.int64)]
+    )
+    if values.size == 0:
+        return values, counts
+    merged, inverse = np.unique(values, return_inverse=True)
+    # bincount with int64 weights is exact far beyond any realistic count
+    summed = np.bincount(inverse, weights=counts, minlength=merged.size)
+    return merged, summed.astype(np.int64)
 
 
 def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:

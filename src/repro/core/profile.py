@@ -17,6 +17,7 @@ from repro.core.ngram import (
     NGramExtractor,
     ngram_to_string,
     top_ngrams,
+    top_ngrams_from_counts,
 )
 
 __all__ = ["LanguageProfile", "build_profiles", "DEFAULT_PROFILE_SIZE"]
@@ -73,6 +74,25 @@ class LanguageProfile:
         """Build a profile from a stream of packed n-grams (training text already extracted)."""
         values, counts = top_ngrams(packed, t)
         return cls(language=language, ngrams=values, counts=counts, n=n, t=t)
+
+    @classmethod
+    def from_counts(
+        cls,
+        language: str,
+        values: np.ndarray,
+        counts: np.ndarray,
+        n: int = DEFAULT_N,
+        t: int = DEFAULT_PROFILE_SIZE,
+    ) -> "LanguageProfile":
+        """Build a profile from an already-counted ``(values, counts)`` table.
+
+        The entry point for streaming/out-of-core training: the bounded
+        accumulator hands over its merged count table (in any order) and this
+        applies the canonical top-``t`` selection with the same deterministic
+        tie-breaking as :meth:`from_packed`.
+        """
+        top_values, top_counts = top_ngrams_from_counts(values, counts, t)
+        return cls(language=language, ngrams=top_values, counts=top_counts, n=n, t=t)
 
     @classmethod
     def from_documents(

@@ -1,0 +1,40 @@
+"""Model lifecycle: versioned registry, streaming training, blue/green swap.
+
+The subsystem that closes the loop between training and serving:
+
+* :class:`~repro.registry.store.ModelRegistry` — append-only on-disk store of
+  flat model artifacts under monotonically increasing versions, each with a
+  JSON manifest (fingerprint, languages, config, parent, corpus stats) and an
+  atomically updated ``LATEST`` pointer;
+* :class:`~repro.registry.trainer.StreamingTrainer` — out-of-core training
+  that folds a document stream into bounded per-language accumulators
+  (constant memory regardless of corpus size) and supports incremental
+  ``extend`` for child versions;
+* :class:`~repro.registry.switch.ModelSwitch` — hot-swaps a running
+  :class:`~repro.serve.service.ClassificationService` between published
+  versions with zero dropped requests (blue/green at replica granularity).
+"""
+
+from repro.registry.store import (
+    MANIFEST_SCHEMA,
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+)
+from repro.registry.switch import ModelSwitch
+from repro.registry.trainer import (
+    DEFAULT_CAPACITY_FACTOR,
+    StreamingTrainer,
+    TopKAccumulator,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryError",
+    "ModelSwitch",
+    "StreamingTrainer",
+    "TopKAccumulator",
+    "DEFAULT_CAPACITY_FACTOR",
+]

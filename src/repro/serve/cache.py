@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import copy
 import hashlib
-import json
 from collections import OrderedDict
 
-import numpy as np
-
+from repro.api.persistence import model_fingerprint
 from repro.core.classifier import ClassificationResult
 from repro.segment.types import SegmentationResult
 
@@ -33,26 +31,6 @@ def text_digest(text: str | bytes) -> bytes:
     """128-bit BLAKE2b digest of a document (strings hashed as UTF-8)."""
     data = text.encode("utf-8", "surrogatepass") if isinstance(text, str) else bytes(text)
     return hashlib.blake2b(data, digest_size=16).digest()
-
-
-def model_fingerprint(identifier) -> bytes:
-    """128-bit digest identifying a trained model's exact behaviour.
-
-    Covers the full :class:`~repro.api.config.ClassifierConfig` (n-gram order,
-    Bloom geometry, hash family, seed, backend, ...) and every language's
-    profile arrays in training order.  Backends are deterministic functions of
-    ``(config, profiles)``, so two identifiers with equal fingerprints return
-    identical results for every document — the precondition for sharing cached
-    results between them.
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(json.dumps(identifier.config.to_dict(), sort_keys=True).encode("utf-8"))
-    for language in identifier.languages:
-        profile = identifier.profiles[language]
-        digest.update(language.encode("utf-8", "surrogatepass"))
-        digest.update(np.ascontiguousarray(profile.ngrams).tobytes())
-        digest.update(np.ascontiguousarray(profile.counts).tobytes())
-    return digest.digest()
 
 
 def _defensive_copy(result):
@@ -122,6 +100,19 @@ class ResultCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def evict_fingerprint(self, fingerprint: bytes) -> int:
+        """Drop every entry whose key starts with ``fingerprint``.
+
+        Called by the service after a model swap retires a version: the old
+        model's results can never be replayed (the new fingerprint misses
+        them anyway), so leaving them in place only pins dead entries until
+        LRU pressure happens to push them out.  Returns the eviction count.
+        """
+        stale = [key for key in self._entries if key.startswith(fingerprint)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
 
     def stats(self) -> dict:
         """Hit/miss counters and occupancy (feeds the service metrics snapshot)."""

@@ -12,10 +12,17 @@ serving stack adds no dependencies beyond NumPy.  Endpoints:
     the document tiled into ``spans`` of ``{start, end, language,
     confidence}`` (see :mod:`repro.segment`).
 ``GET /healthz``
-    Service topology and status (JSON).
+    Service topology and status (JSON), including the serving model's
+    registry version and fingerprint.
 ``GET /metrics``
     Full metrics snapshot as JSON; ``GET /metrics?format=text`` returns the
-    Prometheus-style exposition instead.
+    Prometheus-style exposition instead.  Reports the active model version /
+    fingerprint and ``model_swaps_total``.
+``POST /admin/swap``
+    Body ``{"version": "v000004"}`` (or ``"latest"`` / an integer) — blue/green
+    hot swap onto a published registry version via the service's
+    :class:`~repro.registry.switch.ModelSwitch`.  409 when the service was
+    started without a registry; 400 for unknown versions.
 
 The framing intentionally supports only what the service needs: one request
 per read, ``Content-Length`` bodies, keep-alive until the client closes.
@@ -48,6 +55,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -189,6 +197,31 @@ async def _dispatch(service: ClassificationService, method, path, query, body) -
                 200, service.metrics.render_text().encode("utf-8"), "text/plain"
             )
         return _json_response(200, service.metrics.snapshot())
+    if path == "/admin/swap":
+        if method != "POST":
+            raise _HttpError(405, "use POST for /admin/swap", headers={"Allow": "POST"})
+        if service.switch is None:
+            raise _HttpError(
+                409, "no model registry attached; start the service with --registry"
+            )
+        from repro.registry.store import RegistryError
+
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        spec = payload.get("version", "latest")
+        if not isinstance(spec, (str, int)):
+            raise _HttpError(400, '"version" must be a string or integer')
+        try:
+            report = await service.switch.swap_to(spec)
+        except RegistryError as exc:
+            raise _HttpError(400, str(exc)) from None
+        except ServiceClosedError as exc:
+            raise _HttpError(503, str(exc)) from None
+        return _json_response(200, report)
     if path in ("/classify", "/segment"):
         if method != "POST":
             raise _HttpError(405, f"use POST for {path}", headers={"Allow": "POST"})

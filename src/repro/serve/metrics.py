@@ -70,6 +70,9 @@ class ServiceMetrics:
         self.errors_total = 0
         self.batches_total = 0
         self.worker_respawns_total = 0
+        self.model_swaps_total = 0
+        self.model_version: str | None = None
+        self.model_fingerprint: str | None = None
         self.bytes_total = 0
         self.batch_sizes: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=reservoir_size)
@@ -112,6 +115,17 @@ class ServiceMetrics:
         """Count one crashed-and-replaced replica worker process."""
         with self._lock:
             self.worker_respawns_total += 1
+
+    def record_model_swap(self) -> None:
+        """Count one completed blue/green model swap (failures don't tick this)."""
+        with self._lock:
+            self.model_swaps_total += 1
+
+    def set_model_info(self, version: str | None, fingerprint: str) -> None:
+        """Record which model is answering: registry version (if any) + fingerprint."""
+        with self._lock:
+            self.model_version = version
+            self.model_fingerprint = fingerprint
 
     # ------------------------------------------------------------ derived
 
@@ -165,6 +179,9 @@ class ServiceMetrics:
             "errors_total": self.errors_total,
             "batches_total": self.batches_total,
             "worker_respawns_total": self.worker_respawns_total,
+            "model_swaps_total": self.model_swaps_total,
+            "model_version": self.model_version,
+            "model_fingerprint": self.model_fingerprint,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {
                 str(size): count for size, count in self.batch_size_histogram().items()
@@ -190,11 +207,17 @@ class ServiceMetrics:
             "errors_total",
             "batches_total",
             "worker_respawns_total",
+            "model_swaps_total",
             "mean_batch_size",
             "bytes_total",
             "throughput_mb_s",
         ):
             lines.append(f"repro_serve_{name} {snapshot[name]}")
+        lines.append(
+            "repro_serve_model_info"
+            f'{{version="{snapshot["model_version"] or ""}"'
+            f',fingerprint="{snapshot["model_fingerprint"] or ""}"}} 1'
+        )
         for name, value in snapshot["latency_seconds"].items():
             lines.append(f'repro_serve_latency_seconds{{quantile="{name}"}} {value}')
         for size, count in self.batch_size_histogram().items():

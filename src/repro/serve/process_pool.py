@@ -57,7 +57,16 @@ STOP_TIMEOUT = 10.0
 
 
 def _worker_main(conn, segment_name: str, backend: str | None) -> None:
-    """Worker process entry point: attach, acknowledge, serve, detach."""
+    """Worker process entry point: attach, acknowledge, serve, detach.
+
+    Besides the classify/segment data frames, the worker honours a ``swap``
+    control frame carrying the name of a *new* shared-memory segment: it maps
+    the new segment, rebuilds its identifier over the new bytes, releases the
+    old segment's views and only then drops the old mapping — so from the
+    parent's perspective a worker that acked its swap has fully detached from
+    the retired segment, and the segment can be unlinked once every worker
+    (and finally the parent itself) has let go.
+    """
     shared = SharedModel.attach(segment_name)
     identifier = None
     try:
@@ -71,6 +80,26 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
             kind, payload = frame
             if kind == "stop":
                 break
+            if kind == "swap":
+                try:
+                    replacement = SharedModel.attach(payload)
+                    try:
+                        new_identifier = replacement.identifier(backend=backend)
+                    except Exception:
+                        replacement.close()
+                        raise
+                except Exception as exc:  # noqa: BLE001 - must cross the pipe
+                    # the old model stays installed; the parent aborts the roll
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                    continue
+                # Release the retired segment's views before dropping its
+                # mapping (same discipline as shutdown below), then ack.
+                identifier = None
+                gc.collect()
+                shared.close()
+                shared, identifier = replacement, new_identifier
+                conn.send(("ok", identifier.languages))
+                continue
             if kind not in ("classify", "segment"):  # pragma: no cover - protocol guard
                 conn.send(("error", f"unknown frame kind {kind!r}"))
                 continue
@@ -251,6 +280,62 @@ class ProcessReplicaPool(ReplicaPoolBase):
         return await loop.run_in_executor(
             self._dispatchers[replica_index], self._call, replica_index, "segment", list(texts)
         )
+
+    # ------------------------------------------------------------ model swap
+
+    async def swap_model(self, identifier: LanguageIdentifier) -> None:
+        """Blue/green segment swap: roll every worker onto a new shared model.
+
+        The new (green) model is serialised into a fresh shared-memory
+        segment, then each worker is told to remap — one at a time, through
+        that worker's own dispatcher, so the remap serialises behind the
+        worker's in-flight batch while every other worker keeps serving.  A
+        worker acks its swap only after it has detached from the old (blue)
+        segment, so once the roll completes the parent holds the last blue
+        mapping and can unlink the name.  Any failure mid-roll rolls the
+        already-swapped workers back to blue (best effort — a worker that
+        crashed was respawned on blue already), unlinks green, and re-raises:
+        the pool never serves a mix of models past this method's return.
+        """
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        if not identifier.is_trained:
+            raise RuntimeError("cannot swap to an untrained identifier")
+        loop = asyncio.get_running_loop()
+        green = SharedModel.create(identifier)
+        blue_name = self._shared.name
+        swapped: list[int] = []
+        try:
+            for index in range(self._n_replicas):
+                if self._closed:
+                    raise RuntimeError("replica pool closed during model swap")
+                languages = await loop.run_in_executor(
+                    self._dispatchers[index], self._call, index, "swap", green.name
+                )
+                if list(languages) != list(identifier.languages):  # pragma: no cover
+                    raise WorkerCrashedError(
+                        f"replica worker {index} installed unexpected languages {languages!r}"
+                    )
+                swapped.append(index)
+            with self._lifecycle:
+                if self._closed:
+                    raise RuntimeError("replica pool closed during model swap")
+                blue = self._shared
+                self._shared = green
+                self._languages = identifier.languages
+        except BaseException:
+            for index in swapped:
+                try:
+                    await loop.run_in_executor(
+                        self._dispatchers[index], self._call, index, "swap", blue_name
+                    )
+                except Exception:
+                    pass  # worker died or pool is closing; respawn/close covers it
+            green.unlink()
+            raise
+        # Outside the except: every worker detached from blue before acking,
+        # so the parent's own mapping is the last reader and the name frees.
+        blue.unlink()
 
     # ------------------------------------------------------------ lifecycle
 

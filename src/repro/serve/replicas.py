@@ -109,6 +109,18 @@ class ReplicaPoolBase:
         """Segment a batch of documents on one replica (mixed-language spans)."""
         raise NotImplementedError
 
+    async def swap_model(self, identifier: LanguageIdentifier) -> None:
+        """Roll every replica over to a new trained model, one at a time.
+
+        Blue/green at replica granularity: while replica *i* installs the new
+        (green) model, replicas ``!= i`` keep serving whichever model they
+        hold, and the install is serialised behind replica *i*'s in-flight
+        batch — no request is ever dropped and no replica ever runs a
+        half-installed model.  When this returns, every replica answers with
+        the new model and the old model's execution resources are released.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release every execution resource (may block; idempotent)."""
         raise NotImplementedError
@@ -162,6 +174,33 @@ class ThreadReplicaPool(ReplicaPoolBase):
         )
 
     # ------------------------------------------------------------ lifecycle
+
+    async def swap_model(self, identifier: LanguageIdentifier) -> None:
+        """Install bit-exact clones of ``identifier`` replica by replica.
+
+        Each install runs *on the replica's own single worker thread*, so it
+        serialises after that replica's in-flight batch; the other replicas
+        keep classifying throughout.  The clone is built off-thread first so
+        the replica is only paused for a reference assignment.
+        """
+        if self._closed:
+            raise RuntimeError("replica pool is closed")
+        if not identifier.is_trained:
+            raise RuntimeError("cannot swap to an untrained identifier")
+        loop = asyncio.get_running_loop()
+        for index in range(self._n_replicas):
+            # replica 0 adopts the caller's identifier (mirroring __init__);
+            # the rest get state-disjoint clones built on the default executor
+            if index == 0:
+                clone = identifier
+            else:
+                clone = await loop.run_in_executor(None, clone_identifier, identifier)
+
+            def install(i=index, model=clone):
+                self.replicas[i] = model
+
+            await loop.run_in_executor(self._executors[index], install)
+        self._languages = identifier.languages
 
     def close(self) -> None:
         """Shut the worker threads down (waits for in-flight batches)."""

@@ -125,6 +125,10 @@ class ClassificationService:
         (e.g. kept warm across a model reload).  Safe by construction: every
         key is prefixed with the model's fingerprint, so entries written by a
         different model can never be replayed by this one.
+    model_version:
+        Optional registry version name (e.g. ``"v000003"``) of the model;
+        reported by ``/healthz`` and ``/metrics`` and updated by
+        :meth:`swap_model`.
     """
 
     def __init__(
@@ -132,6 +136,7 @@ class ClassificationService:
         model: LanguageIdentifier | str | Path,
         config: ServeConfig | None = None,
         cache: ResultCache | None = None,
+        model_version: str | None = None,
     ):
         if isinstance(model, (str, Path)):
             model = LanguageIdentifier.load(model)
@@ -145,9 +150,15 @@ class ClassificationService:
         # a different model fingerprints differently, so stale replays are
         # structurally impossible even on a shared/warmed cache.
         self._fingerprint = model_fingerprint(model)
+        self.model_version = model_version
+        self.metrics.set_model_info(model_version, self._fingerprint.hex())
+        #: optional :class:`~repro.registry.switch.ModelSwitch` wired in by the
+        #: CLI/HTTP tier when the service fronts a model registry
+        self.switch = None
         self._pool: ReplicaPoolBase | None = None
         self._batchers: list[MicroBatcher] = []
         self._segment_batchers: list[MicroBatcher] = []
+        self._swap_lock = asyncio.Lock()
         self._started = False
         self._closing = False
 
@@ -213,6 +224,57 @@ class ClassificationService:
 
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
+
+    # ------------------------------------------------------------ model swap
+
+    async def swap_model(
+        self,
+        model: LanguageIdentifier | str | Path,
+        version: str | None = None,
+    ) -> dict:
+        """Blue/green hot swap: roll the running service onto a new model.
+
+        The pool rolls its replicas over one at a time (see
+        :meth:`~repro.serve.replicas.ReplicaPoolBase.swap_model`), so
+        classification keeps flowing throughout: requests already in flight
+        complete on the old (blue) model, requests admitted after the roll
+        answer from the new (green) one, and no request is ever dropped.  On
+        success the retired model's cache entries are evicted by fingerprint
+        prefix, the metrics model-info/``model_swaps_total`` are updated, and
+        a small report is returned.  On failure the pool has already rolled
+        back — the service keeps serving the old model unchanged.
+        """
+        if isinstance(model, (str, Path)):
+            model = LanguageIdentifier.load(model)
+        if not model.is_trained:
+            raise RuntimeError("cannot swap to an untrained model")
+        async with self._swap_lock:
+            if not self.is_running:
+                raise ServiceClosedError("cannot swap models on a stopped service")
+            old_fingerprint = self._fingerprint
+            old_version = self.model_version
+            await self._pool.swap_model(model)
+            # Past this point every replica answers with the new model; the
+            # bookkeeping below only has to catch up.
+            self.identifier = model
+            self._fingerprint = model_fingerprint(model)
+            self.model_version = version
+            evicted = self.cache.evict_fingerprint(old_fingerprint)
+            self.metrics.record_model_swap()
+            self.metrics.set_model_info(version, self._fingerprint.hex())
+            return {
+                "from": {
+                    "version": old_version,
+                    "fingerprint": old_fingerprint.hex(),
+                },
+                "to": {
+                    "version": version,
+                    "fingerprint": self._fingerprint.hex(),
+                    "languages": model.languages,
+                },
+                "cache_entries_evicted": evicted,
+                "model_swaps_total": self.metrics.model_swaps_total,
+            }
 
     # ------------------------------------------------------------ classification
 
@@ -325,6 +387,8 @@ class ClassificationService:
             "sharding": self.config.sharding,
             "cache": self.cache.stats(),
             "model_fingerprint": self._fingerprint.hex(),
+            "model_version": self.model_version,
+            "model_swaps_total": self.metrics.model_swaps_total,
         }
         if self._pool is not None:
             info["pending"] = [len(batcher) for batcher in self._batchers]

@@ -33,6 +33,31 @@ def identifier():
 
 
 @pytest.fixture(scope="module")
+def identifier_v2():
+    """A second model (different training seed) to swap onto."""
+    corpus = build_jrc_acquis_like(
+        ["en", "fr", "es"], docs_per_language=10, words_per_document=200, seed=47
+    )
+    config = ClassifierConfig(m_bits=8 * 1024, k=4, t=1500, seed=1)
+    return LanguageIdentifier(config).train(corpus)
+
+
+@pytest.fixture
+def track_segments(monkeypatch):
+    """Record the name of every shared-memory segment created during a test."""
+    created: list[str] = []
+    original_create = SharedModel.create.__func__
+
+    def tracking_create(cls, model):
+        shared = original_create(cls, model)
+        created.append(shared.name)
+        return shared
+
+    monkeypatch.setattr(SharedModel, "create", classmethod(tracking_create))
+    return created
+
+
+@pytest.fixture(scope="module")
 def texts(identifier):
     corpus = build_jrc_acquis_like(
         ["en", "fr", "es"], docs_per_language=4, words_per_document=120, seed=29
@@ -172,6 +197,126 @@ class TestProcessReplicaPool:
                 await pool.classify_batch(0, texts[:2])
 
         run(scenario())
+
+
+# ------------------------------------------------------------------- swap hygiene
+
+
+class TestSwapHygiene:
+    """Shared-memory hygiene under blue/green swaps: no segment ever leaks."""
+
+    def test_swap_rolls_to_green_and_unlinks_blue(
+        self, identifier, identifier_v2, texts, track_segments
+    ):
+        async def scenario():
+            pool = ProcessReplicaPool(identifier, 2)
+            blue = pool.shared_segment_name
+            try:
+                await pool.classify_batch(0, texts[:3])
+                await pool.swap_model(identifier_v2)
+                green = pool.shared_segment_name
+                assert green != blue
+                # blue is gone the moment the roll completes, green is live
+                assert not segment_exists(blue)
+                assert segment_exists(green)
+                direct = identifier_v2.classify_batch(texts)
+                for index in range(2):
+                    served = await pool.classify_batch(index, texts)
+                    assert [r.match_counts for r in served] == [
+                        r.match_counts for r in direct
+                    ]
+            finally:
+                pool.close()
+
+        run(scenario())
+        for name in track_segments:
+            assert not segment_exists(name)
+
+    def test_worker_crash_mid_swap_rolls_back_without_leaks(
+        self, identifier, identifier_v2, texts, track_segments
+    ):
+        async def scenario():
+            pool = ProcessReplicaPool(identifier, 1)
+            blue = pool.shared_segment_name
+            try:
+                before = await pool.classify_batch(0, texts[:3])
+                pool._workers[0].process.kill()
+                with pytest.raises(WorkerCrashedError):
+                    await pool.swap_model(identifier_v2)
+                # the swap aborted: still on blue, healed, answers unchanged
+                assert pool.shared_segment_name == blue
+                after = await pool.classify_batch(0, texts[:3])
+                assert [r.match_counts for r in after] == [
+                    r.match_counts for r in before
+                ]
+                assert pool.respawns_total == 1
+            finally:
+                pool.close()
+
+        run(scenario())
+        for name in track_segments:
+            assert not segment_exists(name)
+
+    def test_aborted_roll_swaps_completed_workers_back_to_blue(
+        self, identifier, identifier_v2, texts, track_segments
+    ):
+        async def scenario():
+            pool = ProcessReplicaPool(identifier, 2)
+            blue = pool.shared_segment_name
+            direct_blue = identifier.classify_batch(texts)
+            original_call = pool._call
+
+            def failing_call(index, op, payload):
+                # worker 0 swaps to green, then worker 1's swap fails; the
+                # rollback swap back to blue must still be allowed through
+                if op == "swap" and index == 1 and payload != blue:
+                    raise RuntimeError("injected swap failure")
+                return original_call(index, op, payload)
+
+            pool._call = failing_call
+            try:
+                with pytest.raises(RuntimeError, match="injected swap failure"):
+                    await pool.swap_model(identifier_v2)
+                # both workers are back on blue and answer with the old model
+                assert pool.shared_segment_name == blue
+                assert segment_exists(blue)
+                for index in range(2):
+                    served = await pool.classify_batch(index, texts)
+                    assert [r.match_counts for r in served] == [
+                        r.match_counts for r in direct_blue
+                    ]
+            finally:
+                pool.close()
+
+        run(scenario())
+        for name in track_segments:
+            assert not segment_exists(name)
+
+    def test_shutdown_during_swap_leaves_no_segments(
+        self, identifier, identifier_v2, texts, track_segments
+    ):
+        async def scenario():
+            config = ServeConfig(
+                max_batch=4, max_delay_ms=1.0, replicas=2, executor="process", cache_size=0
+            )
+            service = ClassificationService(identifier, config)
+            await service.start()
+            await service.classify(texts[0])
+            # shut down while the swap is (potentially) mid-roll between the
+            # blue and green segments; whichever side wins, nothing may leak
+            swap_task = asyncio.create_task(service.swap_model(identifier_v2))
+            await asyncio.sleep(0)
+            outcomes = await asyncio.gather(
+                swap_task, service.close(), return_exceptions=True
+            )
+            # the race has two legal outcomes: the swap completed before
+            # shutdown, or it was aborted by it — but never a third state
+            assert not isinstance(outcomes[1], BaseException)
+
+        run(scenario())
+        assert track_segments  # the green segment was actually created
+        for name in track_segments:
+            assert not segment_exists(name)
 
 
 # ------------------------------------------------------------------- service wiring

@@ -480,7 +480,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sharding=args.sharding,
         cache_size=args.cache_size,
         max_pending=args.max_pending,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_slow_ms=args.trace_slow_ms,
     )
+    logger = None
+    if args.log_json:
+        from repro.obs import JsonLogger
+
+        logger = JsonLogger(sys.stderr)
     registry = None
     if args.registry is not None:
         from repro.registry import ModelRegistry, ModelSwitch
@@ -488,11 +495,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry = ModelRegistry(Path(args.registry))
         record = registry.resolve(args.model_version)
         service = ClassificationService(
-            registry.load(record.version), serve_config, model_version=record.name
+            registry.load(record.version),
+            serve_config,
+            model_version=record.name,
+            logger=logger,
         )
         service.switch = ModelSwitch(service, registry)
     else:
-        service = ClassificationService(Path(args.model), serve_config)
+        service = ClassificationService(Path(args.model), serve_config, logger=logger)
 
     async def run() -> None:
         async with service:
@@ -507,7 +517,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"serving {len(service.languages)} languages from {source} "
                 f"on http://{bound[0]}:{bound[1]} "
                 f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms} ms, "
-                f"replicas={args.replicas} x {args.executor}, sharding={args.sharding})"
+                f"replicas={args.replicas} x {args.executor}, sharding={args.sharding}, "
+                f"trace_sample_rate={args.trace_sample_rate})"
             )
             try:
                 async with server:
@@ -803,6 +814,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-pending", type=_positive_int, default=1024,
         help="per-replica queue bound; beyond it requests get 429",
+    )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=0.01,
+        help="probability a request's trace is retained for GET /debug/traces "
+        "(0 disables probabilistic sampling, 1 retains everything; per-stage "
+        "latency histograms cover every request regardless)",
+    )
+    serve.add_argument(
+        "--trace-slow-ms", type=float, default=250.0,
+        help="requests slower than this are retained even when not sampled "
+        "(always-keep slow exemplars)",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit one structured JSON line per request and lifecycle event "
+        "(swaps, respawns, rejections) on stderr",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -1,0 +1,60 @@
+"""Structured JSON logging: one machine-parseable line per serving event.
+
+Production debugging of the serving tier needs logs that can be grepped by
+request id and aggregated by field — not prose.  :class:`JsonLogger` writes
+one compact JSON object per line to any text stream (stderr by default under
+``repro serve --log-json``), covering:
+
+* ``request`` — one line per completed request (emitted by the
+  :class:`~repro.obs.trace.Tracer`): request id, kind, status, latency,
+  plus whatever the pipeline annotated (replica, batch size, cache hit).
+* lifecycle events — ``model_swap``, ``worker_respawn``, rejections — so a
+  crash or a blue/green roll shows up in the same stream as the traffic it
+  affected.
+
+Lines are self-contained (timestamp + event name + fields) and never span
+multiple lines; a write is a single locked ``write`` call so concurrent
+emitters cannot interleave.  Values that are not JSON-serialisable fall back
+to ``str`` rather than raising — a log line must never take the request down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+__all__ = ["JsonLogger"]
+
+
+class JsonLogger:
+    """Thread-safe one-line-per-event JSON logger.
+
+    Parameters
+    ----------
+    stream:
+        Text stream to write to; defaults to ``sys.stderr``.  Anything with
+        ``write`` works (``io.StringIO`` in tests, a rotated file handle in a
+        deployment).
+    clock:
+        Injectable wall-clock (returns UNIX seconds) for deterministic tests.
+    """
+
+    def __init__(self, stream=None, clock=time.time):
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.events_total = 0
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one event line; ``fields`` become top-level JSON keys."""
+        record = {"ts": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+            self.events_total += 1

@@ -18,16 +18,23 @@ subsystem applies the same architecture to the software engine:
 :class:`~repro.serve.cache.ResultCache`
     LRU result cache keyed on (model fingerprint, document digest).
 :class:`~repro.serve.metrics.ServiceMetrics`
-    Request counters, batch-size histogram, p50/p95/p99 latency, MB/s.
+    Request counters, batch-size histogram, per-stage bucketed latency
+    histograms (p50/p95/p99 interpolated), MB/s, Prometheus exposition.
 :class:`~repro.serve.service.ClassificationService`
     The programmatic API tying the above together with explicit backpressure
     and graceful draining shutdown (``executor="thread"|"process"``).
 :func:`~repro.serve.http.serve_http`
     Stdlib-only JSON/HTTP front-end (``POST /classify``, ``POST /segment``,
-    ``GET /healthz``, ``GET /metrics``); also exposed as
-    ``python -m repro serve``.  Segmentation requests flow through the same
+    ``GET /healthz``, ``GET /metrics``, ``GET /debug/traces``); also exposed
+    as ``python -m repro serve``.  Segmentation requests flow through the same
     cache / micro-batch / replica pipeline as classification (dedicated
     per-replica queues, op-prefixed cache keys) under both executors.
+
+Observability is a first-class layer (:mod:`repro.obs`): every request is
+minted a :class:`~repro.obs.trace.TraceContext` whose per-stage spans tile
+its lifetime, exemplar traces are retained in a bounded ring behind
+``GET /debug/traces``, responses carry ``X-Request-Id``, and
+``repro serve --log-json`` streams structured lifecycle events.
 
 The ``confidence`` field in ``/classify`` responses is the raw normalized
 separation score, and its relationship to actual correctness is *measured*,

@@ -17,6 +17,7 @@ requests are queued instead of buffering without bound.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from collections.abc import Awaitable, Callable, Sequence
 
@@ -65,7 +66,9 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.max_pending = int(max_pending)
-        self._pending: deque[tuple[object, asyncio.Future]] = deque()
+        #: (item, caller future, monotonic enqueue time) — the timestamp drives
+        #: the deadline trigger and the queue-depth health report
+        self._pending: deque[tuple[object, asyncio.Future, float]] = deque()
         self._wakeup: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
         self._closed = False
@@ -102,6 +105,16 @@ class MicroBatcher:
     def __len__(self) -> int:
         return len(self._pending)
 
+    def oldest_wait_seconds(self) -> float:
+        """How long the oldest queued item has waited (0.0 when idle).
+
+        A saturation signal for health checks: a wait approaching
+        ``max_delay`` under a deep queue means the flusher cannot keep up.
+        """
+        if not self._pending:
+            return 0.0
+        return max(time.monotonic() - self._pending[0][2], 0.0)
+
     def submit_nowait(self, item) -> asyncio.Future:
         """Queue ``item`` and return the future that will carry its result."""
         if self._closed or not self.is_running:
@@ -111,14 +124,13 @@ class MicroBatcher:
                 f"request queue full ({self.max_pending} pending); retry with backoff"
             )
         future = asyncio.get_running_loop().create_future()
-        self._pending.append((item, future))
+        self._pending.append((item, future, time.monotonic()))
         self._wakeup.set()
         return future
 
     # ------------------------------------------------------------ flusher
 
     async def _run(self) -> None:
-        loop = asyncio.get_running_loop()
         while True:
             if not self._pending:
                 if self._closed:
@@ -127,11 +139,12 @@ class MicroBatcher:
                 await self._wakeup.wait()
                 continue
             # First item of the next batch is in; hold the flush open until the
-            # batch fills or its deadline passes (closing skips the wait so
-            # shutdown drains at full speed).
-            deadline = loop.time() + self.max_delay
+            # batch fills or the *oldest item's* deadline passes, so no request
+            # ever waits longer than max_delay however late the flusher woke
+            # (closing skips the wait so shutdown drains at full speed).
+            deadline = self._pending[0][2] + self.max_delay
             while len(self._pending) < self.max_batch and not self._closed:
-                remaining = deadline - loop.time()
+                remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 self._wakeup.clear()
@@ -145,8 +158,8 @@ class MicroBatcher:
             ]
             await self._flush_batch(batch)
 
-    async def _flush_batch(self, batch: list[tuple[object, asyncio.Future]]) -> None:
-        items = [item for item, _future in batch]
+    async def _flush_batch(self, batch: list[tuple[object, asyncio.Future, float]]) -> None:
+        items = [item for item, _future, _enqueued in batch]
         try:
             results = await self._flush(items)
             if len(results) != len(items):
@@ -154,10 +167,10 @@ class MicroBatcher:
                     f"flush returned {len(results)} results for {len(items)} items"
                 )
         except Exception as exc:  # noqa: BLE001 - failures must reach the waiters
-            for _item, future in batch:
+            for _item, future, _enqueued in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_item, future), result in zip(batch, results):
+        for (_item, future, _enqueued), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)

@@ -75,6 +75,7 @@ class ResultCache:
         self._entries: OrderedDict[bytes, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -97,6 +98,7 @@ class ResultCache:
         self._entries.move_to_end(digest)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -112,6 +114,7 @@ class ResultCache:
         stale = [key for key in self._entries if key.startswith(fingerprint)]
         for key in stale:
             del self._entries[key]
+        self.evictions += len(stale)
         return len(stale)
 
     def stats(self) -> dict:
@@ -122,5 +125,6 @@ class ResultCache:
             "size": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }

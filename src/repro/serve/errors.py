@@ -18,7 +18,18 @@ __all__ = [
 
 
 class ServeError(RuntimeError):
-    """Base class for every serving-layer rejection."""
+    """Base class for every serving-layer rejection.
+
+    Attributes
+    ----------
+    request_id:
+        The trace id of the request that was rejected, when the error crossed
+        the service's admission pipeline (the HTTP layer echoes it back as the
+        ``X-Request-Id`` header so a client can quote the id from an error
+        response too).  ``None`` for errors raised outside a request context.
+    """
+
+    request_id: str | None = None
 
 
 class ServiceOverloadedError(ServeError):

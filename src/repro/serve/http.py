@@ -7,17 +7,25 @@ serving stack adds no dependencies beyond NumPy.  Endpoints:
     Body ``{"text": "..."}`` → one result, or ``{"texts": ["...", ...]}`` →
     ``{"results": [...]}``.  Rejections map onto status codes: 413 for
     oversized documents, 429 for backpressure, 503 while shutting down.
+    Every response (errors included, when the request reached admission)
+    carries an ``X-Request-Id`` header naming its trace.
 ``POST /segment``
-    Same body contract, but each result is a mixed-language segmentation:
-    the document tiled into ``spans`` of ``{start, end, language,
-    confidence}`` (see :mod:`repro.segment`).
+    Same body contract (including ``X-Request-Id``), but each result is a
+    mixed-language segmentation: the document tiled into ``spans`` of
+    ``{start, end, language, confidence}`` (see :mod:`repro.segment`).
 ``GET /healthz``
     Service topology and status (JSON), including the serving model's
-    registry version and fingerprint.
+    registry version and fingerprint, live queue depth / oldest-wait
+    saturation signals, and per-worker replica liveness.
 ``GET /metrics``
     Full metrics snapshot as JSON; ``GET /metrics?format=text`` returns the
-    Prometheus-style exposition instead.  Reports the active model version /
-    fingerprint and ``model_swaps_total``.
+    Prometheus exposition (HELP/TYPE lines, per-stage latency histograms,
+    spec-style ``quantile`` labels) instead.  Reports the active model
+    version / fingerprint and ``model_swaps_total``.
+``GET /debug/traces``
+    Retained exemplar traces, newest first (``?limit=N`` to cap), plus the
+    tracer's sampling policy and counters — each trace is a request's full
+    per-stage span waterfall (see :mod:`repro.obs`).
 ``POST /admin/swap``
     Body ``{"version": "v000004"}`` (or ``"latest"`` / an integer) — blue/green
     hot swap onto a published registry version via the service's
@@ -32,6 +40,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
+from urllib.parse import parse_qs
 
 from repro.core.classifier import ClassificationResult
 from repro.segment.types import segmentation_to_json
@@ -112,6 +122,12 @@ def _json_response(status: int, payload: dict, headers: dict | None = None) -> b
     return _encode_response(
         status, json.dumps(payload).encode("utf-8"), "application/json", headers
     )
+
+
+def _request_id_headers(exc: Exception) -> dict | None:
+    """``X-Request-Id`` for an error response, when the rejection carries one."""
+    request_id = getattr(exc, "request_id", None)
+    return {"X-Request-Id": request_id} if request_id else None
 
 
 async def _read_request(reader: asyncio.StreamReader, max_body_bytes: int):
@@ -222,6 +238,24 @@ async def _dispatch(service: ClassificationService, method, path, query, body) -
         except ServiceClosedError as exc:
             raise _HttpError(503, str(exc)) from None
         return _json_response(200, report)
+    if path == "/debug/traces":
+        if method != "GET":
+            raise _HttpError(405, "use GET for /debug/traces", headers={"Allow": "GET"})
+        limit = None
+        params = parse_qs(query) if query else {}
+        if "limit" in params:
+            try:
+                limit = int(params["limit"][-1])
+            except ValueError:
+                raise _HttpError(
+                    400, f'"limit" must be an integer, got {params["limit"][-1]!r}'
+                ) from None
+            if limit < 0:
+                raise _HttpError(400, '"limit" must be non-negative')
+        return _json_response(
+            200,
+            {"traces": service.tracer.export(limit), "config": service.tracer.describe()},
+        )
     if path in ("/classify", "/segment"):
         if method != "POST":
             raise _HttpError(405, f"use POST for {path}", headers={"Allow": "POST"})
@@ -230,21 +264,36 @@ async def _dispatch(service: ClassificationService, method, path, query, body) -
         try:
             if texts is not None:
                 if path == "/classify":
-                    results = await service.classify_many(texts)
+                    pairs = await service.classify_many_traced(texts)
                 else:
-                    results = await service.segment_many(texts)
-                return _json_response(200, {"results": [to_json(r) for r in results]})
-            if path == "/classify":
-                result = await service.classify(text)
+                    pairs = await service.segment_many_traced(texts)
+                wire = {"results": [to_json(result) for result, _ctx in pairs]}
+                contexts = [ctx for _result, ctx in pairs]
             else:
-                result = await service.segment(text)
-            return _json_response(200, to_json(result))
+                if path == "/classify":
+                    result, ctx = await service.classify_traced(text)
+                else:
+                    result, ctx = await service.segment_traced(text)
+                wire = to_json(result)
+                contexts = [ctx]
         except RequestTooLargeError as exc:
-            raise _HttpError(413, str(exc)) from None
+            raise _HttpError(413, str(exc), headers=_request_id_headers(exc)) from None
         except ServiceOverloadedError as exc:
-            raise _HttpError(429, str(exc)) from None
+            raise _HttpError(429, str(exc), headers=_request_id_headers(exc)) from None
         except ServiceClosedError as exc:
-            raise _HttpError(503, str(exc)) from None
+            raise _HttpError(503, str(exc), headers=_request_id_headers(exc)) from None
+        serialize_start = time.perf_counter()
+        encoded = json.dumps(wire).encode("utf-8")
+        serialize_seconds = time.perf_counter() - serialize_start
+        # The traces already closed when the service resolved them; appending
+        # the serialize span post-close extends each waterfall (and the e2e
+        # latency it tiles) by this request's share of the encoding cost.
+        share = serialize_seconds / max(len(contexts), 1)
+        for ctx in contexts:
+            ctx.annotate("serialize", share)
+        service.metrics.observe_stage("serialize", serialize_seconds)
+        headers = {"X-Request-Id": contexts[0].trace_id} if contexts else None
+        return _encode_response(200, encoded, "application/json", headers)
     raise _HttpError(404, f"no such endpoint {path!r}")
 
 

@@ -1,4 +1,4 @@
-"""Service metrics: request counters, batch-size histogram, latency percentiles.
+"""Service metrics: counters, batch-size histogram, per-stage latency histograms.
 
 The asynchronous host driver of the paper was judged on two axes — realised
 throughput (Figure 4) and how full it kept the engine's pipeline.  The
@@ -7,8 +7,16 @@ batch-size histogram, which shows directly whether the micro-batcher is
 coalescing requests (mass at ``max_batch``) or degenerating into the
 request-at-a-time baseline (mass at 1).
 
-Latencies are kept in a bounded reservoir (most recent ``reservoir_size``
-observations) so percentile queries stay O(window) regardless of uptime.
+Latency is decomposed, not averaged: every pipeline stage the tracing layer
+records (see :mod:`repro.obs.trace`) lands in its own bucketed
+:class:`LatencyHistogram` — ``admission``, ``queue_wait``, ``ipc_roundtrip``,
+``kernel``, ... plus the end-to-end ``request`` series — so "where does a
+slow request spend its time" is answerable from ``/metrics`` alone, without
+catching an exemplar trace.  Buckets are explicit and fixed, which keeps
+recording O(log buckets) forever and makes the Prometheus exposition
+(``_bucket{le=...}`` / ``_sum`` / ``_count`` with HELP/TYPE lines)
+aggregatable across replicas and restarts; the reported percentiles are
+interpolated within buckets, exactly as ``histogram_quantile`` would.
 
 Confidence note: the ``confidence`` field these metrics ride alongside in
 ``/classify`` responses is the *raw* normalized separation score.  It is
@@ -21,9 +29,17 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, deque
+from bisect import bisect_left
+from collections import Counter
 
-__all__ = ["ServiceMetrics", "percentile"]
+__all__ = ["ServiceMetrics", "LatencyHistogram", "DEFAULT_LATENCY_BUCKETS", "percentile"]
+
+#: bucket upper bounds in seconds, spanning sub-millisecond cache hits to
+#: multi-second pathological requests (an implicit +Inf bucket tops them off)
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 def percentile(samples, q: float) -> float:
@@ -42,24 +58,100 @@ def percentile(samples, q: float) -> float:
     return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
 
 
+def _bound_label(bound: float) -> str:
+    """Prometheus ``le`` label for a bucket bound (no trailing zeros)."""
+    return format(bound, "g")
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (Prometheus ``histogram`` semantics).
+
+    Observations are counted into the first bucket whose upper bound is
+    ``>= value`` (``le`` buckets); values beyond the last bound land in the
+    implicit ``+Inf`` overflow bucket.  Not thread-safe on its own — callers
+    (:class:`ServiceMetrics`) serialise access under their lock.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds=DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= 0 for b in bounds) or any(
+            right <= left for left, right in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be positive and strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), interpolated within its bucket.
+
+        Mirrors Prometheus ``histogram_quantile``: linear interpolation
+        between the bucket's bounds, with the overflow bucket clamped to the
+        largest finite bound (there is nothing to interpolate toward).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be between 0 and 100")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):  # overflow: clamp to last bound
+                    return self.bounds[-1]
+                low = self.bounds[index - 1] if index else 0.0
+                high = self.bounds[index]
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                return low + max(fraction, 0.0) * (high - low)
+        return self.bounds[-1]  # pragma: no cover - rank <= count always hits
+
+    def snapshot(self) -> dict:
+        """Cumulative ``le -> count`` buckets plus sum/count (JSON-ready)."""
+        cumulative = 0
+        buckets = {}
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets[_bound_label(bound)] = cumulative
+        buckets["+Inf"] = self.count
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
 class ServiceMetrics:
     """Mutable metric registry owned by one :class:`~repro.serve.service.ClassificationService`.
 
     All methods are synchronous and nothing here blocks for long: recording is
     a counter bump under an uncontended lock.  The lock matters for the *read*
-    side — ``snapshot()`` iterates the batch-size histogram and the latency
-    reservoir, and without it a concurrent ``record_batch`` from a replica
+    side — ``snapshot()`` iterates the batch-size histogram and the stage
+    histograms, and without it a concurrent ``record_batch`` from a replica
     worker thread can mutate the histogram mid-iteration (a
     ``RuntimeError: dictionary changed size during iteration``) or tear the
     view.  Reads therefore take the same (reentrant) lock and always observe a
-    consistent snapshot.
+    consistent snapshot; ``render_text`` renders from exactly one such
+    snapshot, so a text exposition can never pair a histogram with counters
+    taken at a different instant.
     """
 
-    def __init__(self, reservoir_size: int = 4096, clock=time.monotonic):
-        if reservoir_size <= 0:
-            raise ValueError("reservoir_size must be positive")
+    #: requested latency quantiles; JSON keys keep the historical ``p50``
+    #: style while the Prometheus exposition uses spec ``quantile="0.5"``
+    QUANTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, latency_buckets=DEFAULT_LATENCY_BUCKETS, clock=time.monotonic):
         self._lock = threading.RLock()
         self._clock = clock
+        self._latency_buckets = tuple(float(b) for b in latency_buckets)
+        LatencyHistogram(self._latency_buckets)  # validate once, up front
         self.started_at = clock()
         self.requests_total = 0
         self.responses_total = 0
@@ -75,7 +167,9 @@ class ServiceMetrics:
         self.model_fingerprint: str | None = None
         self.bytes_total = 0
         self.batch_sizes: Counter[int] = Counter()
-        self._latencies: deque[float] = deque(maxlen=reservoir_size)
+        #: per-stage latency histograms, keyed by stage name; the end-to-end
+        #: latency lives under the ``request`` stage
+        self._stages: dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------ recording
 
@@ -95,7 +189,7 @@ class ServiceMetrics:
             self.responses_total += 1
             if cached:
                 self.cache_hits += 1
-            self._latencies.append(float(latency_seconds))
+            self._stage_locked("request").observe(float(latency_seconds))
 
     def record_rejection(self, reason: str) -> None:
         with self._lock:
@@ -127,6 +221,35 @@ class ServiceMetrics:
             self.model_version = version
             self.model_fingerprint = fingerprint
 
+    # ------------------------------------------------------------ stages
+
+    def _stage_locked(self, stage: str) -> LatencyHistogram:
+        histogram = self._stages.get(stage)
+        if histogram is None:
+            histogram = self._stages[stage] = LatencyHistogram(self._latency_buckets)
+        return histogram
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Fold one stage duration into its latency histogram."""
+        with self._lock:
+            self._stage_locked(stage).observe(seconds)
+
+    def observe_spans(self, spans) -> None:
+        """Fold a whole trace's ``(stage, offset, duration)`` spans in at once.
+
+        One lock acquisition per request rather than per span — this is the
+        hot path the :class:`~repro.obs.trace.Tracer` hits for *every*
+        request, sampled or not.
+        """
+        with self._lock:
+            for stage, _offset, duration in spans:
+                self._stage_locked(stage).observe(duration)
+
+    def stage_histograms(self) -> dict[str, dict]:
+        """JSON-ready per-stage histogram snapshots, sorted by stage name."""
+        with self._lock:
+            return {name: self._stages[name].snapshot() for name in sorted(self._stages)}
+
     # ------------------------------------------------------------ derived
 
     @property
@@ -144,11 +267,18 @@ class ServiceMetrics:
             total = sum(size * count for size, count in self.batch_sizes.items())
             return total / self.batches_total if self.batches_total else 0.0
 
-    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[str, float]:
-        """Seconds at each requested percentile of the latency reservoir."""
+    def latency_percentiles(self, qs=QUANTILES) -> dict[str, float]:
+        """Seconds at each requested percentile of end-to-end request latency.
+
+        Interpolated from the ``request`` stage histogram; keys keep the
+        historical ``p50`` style (the text exposition uses spec-conformant
+        ``quantile="0.5"`` labels instead).
+        """
         with self._lock:
-            window = list(self._latencies)
-        return {f"p{q:g}": percentile(window, q) for q in qs}
+            histogram = self._stages.get("request")
+            if histogram is None:
+                return {f"p{q:g}": 0.0 for q in qs}
+            return {f"p{q:g}": histogram.percentile(q) for q in qs}
 
     def batch_size_histogram(self) -> dict[int, int]:
         """Exact ``batch size -> flush count`` mapping, sorted by batch size."""
@@ -165,61 +295,101 @@ class ServiceMetrics:
         """
         with self._lock:
             latencies = self.latency_percentiles()
-            return self._snapshot_locked(latencies)
+            return {
+                "uptime_seconds": self.uptime_seconds,
+                "requests_total": self.requests_total,
+                "responses_total": self.responses_total,
+                "segment_requests_total": self.segment_requests_total,
+                "cache_hits": self.cache_hits,
+                "rejected_overload": self.rejected_overload,
+                "rejected_too_large": self.rejected_too_large,
+                "errors_total": self.errors_total,
+                "batches_total": self.batches_total,
+                "worker_respawns_total": self.worker_respawns_total,
+                "model_swaps_total": self.model_swaps_total,
+                "model_version": self.model_version,
+                "model_fingerprint": self.model_fingerprint,
+                "mean_batch_size": self.mean_batch_size,
+                "batch_size_histogram": {
+                    str(size): count for size, count in self.batch_size_histogram().items()
+                },
+                "bytes_total": self.bytes_total,
+                "throughput_mb_s": self.throughput_mb_s,
+                "latency_seconds": latencies,
+                "latency_ms": {name: 1e3 * value for name, value in latencies.items()},
+                "stage_latency_seconds": self.stage_histograms(),
+            }
 
-    def _snapshot_locked(self, latencies: dict[str, float]) -> dict:
-        return {
-            "uptime_seconds": self.uptime_seconds,
-            "requests_total": self.requests_total,
-            "responses_total": self.responses_total,
-            "segment_requests_total": self.segment_requests_total,
-            "cache_hits": self.cache_hits,
-            "rejected_overload": self.rejected_overload,
-            "rejected_too_large": self.rejected_too_large,
-            "errors_total": self.errors_total,
-            "batches_total": self.batches_total,
-            "worker_respawns_total": self.worker_respawns_total,
-            "model_swaps_total": self.model_swaps_total,
-            "model_version": self.model_version,
-            "model_fingerprint": self.model_fingerprint,
-            "mean_batch_size": self.mean_batch_size,
-            "batch_size_histogram": {
-                str(size): count for size, count in self.batch_size_histogram().items()
-            },
-            "bytes_total": self.bytes_total,
-            "throughput_mb_s": self.throughput_mb_s,
-            "latency_seconds": latencies,
-            "latency_ms": {name: 1e3 * value for name, value in latencies.items()},
-        }
+    #: scalar sample name -> (HELP text, TYPE); ordered as rendered
+    _SCALARS = {
+        "uptime_seconds": ("Seconds since the service metrics started.", "gauge"),
+        "requests_total": ("Admitted requests (classify + segment).", "counter"),
+        "responses_total": ("Completed responses, including cache hits.", "counter"),
+        "segment_requests_total": ("Admitted segmentation requests.", "counter"),
+        "cache_hits": ("Responses answered from the LRU result cache.", "counter"),
+        "rejected_overload": ("Requests rejected by queue backpressure (429).", "counter"),
+        "rejected_too_large": ("Requests rejected for oversized documents (413).", "counter"),
+        "errors_total": ("Requests failed for other reasons.", "counter"),
+        "batches_total": ("Micro-batcher flushes handed to a replica.", "counter"),
+        "worker_respawns_total": ("Crashed replica workers replaced.", "counter"),
+        "model_swaps_total": ("Completed blue/green model swaps.", "counter"),
+        "mean_batch_size": ("Mean documents per flushed batch.", "gauge"),
+        "bytes_total": ("Admitted document payload bytes.", "counter"),
+        "throughput_mb_s": ("Admitted MB/s over the serving window.", "gauge"),
+    }
 
     def render_text(self) -> str:
-        """Prometheus-style exposition of the scalar metrics plus the histogram."""
-        lines = []
+        """Prometheus text exposition with HELP/TYPE lines.
+
+        Rendered from a *single* :meth:`snapshot`, so every sample — scalars,
+        the batch-size histogram, the per-stage latency histograms and the
+        quantile summary — describes the same instant; concurrent recording
+        can never make ``batch_size_total`` disagree with ``batches_total``
+        within one scrape.
+        """
         snapshot = self.snapshot()
-        for name in (
-            "uptime_seconds",
-            "requests_total",
-            "responses_total",
-            "segment_requests_total",
-            "cache_hits",
-            "rejected_overload",
-            "rejected_too_large",
-            "errors_total",
-            "batches_total",
-            "worker_respawns_total",
-            "model_swaps_total",
-            "mean_batch_size",
-            "bytes_total",
-            "throughput_mb_s",
-        ):
+        lines = []
+        for name, (help_text, metric_type) in self._SCALARS.items():
+            lines.append(f"# HELP repro_serve_{name} {help_text}")
+            lines.append(f"# TYPE repro_serve_{name} {metric_type}")
             lines.append(f"repro_serve_{name} {snapshot[name]}")
+        lines.append("# HELP repro_serve_model_info Active model version and fingerprint.")
+        lines.append("# TYPE repro_serve_model_info gauge")
         lines.append(
             "repro_serve_model_info"
             f'{{version="{snapshot["model_version"] or ""}"'
             f',fingerprint="{snapshot["model_fingerprint"] or ""}"}} 1'
         )
-        for name, value in snapshot["latency_seconds"].items():
-            lines.append(f'repro_serve_latency_seconds{{quantile="{name}"}} {value}')
-        for size, count in self.batch_size_histogram().items():
+        lines.append(
+            "# HELP repro_serve_latency_seconds End-to-end request latency quantiles."
+        )
+        lines.append("# TYPE repro_serve_latency_seconds summary")
+        for q in self.QUANTILES:
+            value = snapshot["latency_seconds"][f"p{q:g}"]
+            lines.append(
+                f'repro_serve_latency_seconds{{quantile="{q / 100.0:g}"}} {value}'
+            )
+        lines.append("# HELP repro_serve_batch_size_total Flush count by batch size.")
+        lines.append("# TYPE repro_serve_batch_size_total counter")
+        for size, count in snapshot["batch_size_histogram"].items():
             lines.append(f'repro_serve_batch_size_total{{size="{size}"}} {count}')
+        lines.append(
+            "# HELP repro_serve_stage_duration_seconds "
+            "Per-stage pipeline latency (see /debug/traces for exemplars)."
+        )
+        lines.append("# TYPE repro_serve_stage_duration_seconds histogram")
+        for stage, histogram in snapshot["stage_latency_seconds"].items():
+            for le, cumulative in histogram["buckets"].items():
+                lines.append(
+                    "repro_serve_stage_duration_seconds_bucket"
+                    f'{{stage="{stage}",le="{le}"}} {cumulative}'
+                )
+            lines.append(
+                f'repro_serve_stage_duration_seconds_sum{{stage="{stage}"}} '
+                f"{histogram['sum']}"
+            )
+            lines.append(
+                f'repro_serve_stage_duration_seconds_count{{stage="{stage}"}} '
+                f"{histogram['count']}"
+            )
         return "\n".join(lines) + "\n"

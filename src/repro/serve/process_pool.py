@@ -14,9 +14,15 @@ Topology per worker:
 * a ``spawn``-context :class:`multiprocessing.Process` running
   :func:`_worker_main` (spawn keeps workers free of inherited locks/threads,
   so a crashing or forking parent cannot wedge them);
-* a duplex :class:`multiprocessing.Pipe` carrying ``("classify", texts)`` or
-  ``("segment", texts)`` / ``("ok", results)`` frames — documents cross the
-  pipe, the model never does;
+* a duplex :class:`multiprocessing.Pipe` carrying ``("classify", texts,
+  trace_ids)`` / ``("segment", texts, trace_ids)`` data frames and
+  ``("ok", results, meta)`` replies — documents and trace ids cross the pipe,
+  the model never does.  The reply ``meta`` echoes the trace ids (so the
+  parent can prove which worker generation served which requests), the
+  worker-measured kernel seconds (so serving overhead never pollutes kernel
+  timing), and the worker pid.  Control frames (``swap`` / ``stop``) stay
+  two-element, and a bare ``(op, texts)`` data frame is still honoured for
+  untraced callers;
 * a single-thread dispatcher executor that performs the blocking pipe
   round-trip off the event loop, preserving the one-in-flight-batch-per-replica
   discipline of the thread tier.
@@ -33,7 +39,9 @@ from __future__ import annotations
 
 import asyncio
 import gc
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -77,7 +85,10 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
                 frame = conn.recv()
             except (EOFError, OSError):
                 break  # parent went away: exit quietly
-            kind, payload = frame
+            # Data frames may carry trace ids as a third element; control
+            # frames (stop/swap) are always two-element.
+            kind, payload = frame[0], frame[1]
+            trace_ids = frame[2] if len(frame) > 2 else None
             if kind == "stop":
                 break
             if kind == "swap":
@@ -104,11 +115,17 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
                 conn.send(("error", f"unknown frame kind {kind!r}"))
                 continue
             try:
+                kernel_start = time.perf_counter()
                 if kind == "segment":
                     results = [identifier.segment(text) for text in payload]
                 else:
                     results = identifier.classify_batch(payload)
-                conn.send(("ok", results))
+                meta = {
+                    "trace_ids": trace_ids,
+                    "kernel_seconds": time.perf_counter() - kernel_start,
+                    "pid": os.getpid(),
+                }
+                conn.send(("ok", results, meta))
             except Exception as exc:  # noqa: BLE001 - must cross the pipe
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
@@ -141,8 +158,9 @@ class ProcessReplicaPool(ReplicaPoolBase):
         Worker process count.  Scaling past the machine's core count buys
         nothing — the sweet spot is ``min(replicas, cores)``.
     on_respawn:
-        Optional zero-argument callback invoked every time a crashed worker
-        is replaced (the service wires its metrics counter in here).
+        Optional callback invoked with the replica index every time a crashed
+        worker is replaced (the service wires its metrics counter and the
+        structured ``worker_respawn`` log event in here).
     """
 
     executor_kind = "process"
@@ -151,7 +169,7 @@ class ProcessReplicaPool(ReplicaPoolBase):
         self,
         identifier: LanguageIdentifier,
         n_replicas: int = 1,
-        on_respawn: Callable[[], None] | None = None,
+        on_respawn: Callable[[int], None] | None = None,
     ):
         if n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
@@ -204,7 +222,7 @@ class ProcessReplicaPool(ReplicaPoolBase):
         self._workers[index] = self._spawn(index)
         self.respawns_total += 1
         if self._on_respawn is not None:
-            self._on_respawn()
+            self._on_respawn(index)
 
     def _recv(self, worker: _Worker, timeout: float | None = None):
         """Blocking receive that notices the worker dying mid-wait."""
@@ -227,7 +245,8 @@ class ProcessReplicaPool(ReplicaPoolBase):
     def _ensure_ready(self, worker: _Worker) -> None:
         if worker.ready:
             return
-        kind, payload = self._recv(worker, timeout=READY_TIMEOUT)
+        frame = self._recv(worker, timeout=READY_TIMEOUT)
+        kind, payload = frame[0], frame[1]
         if kind != "ready":  # pragma: no cover - protocol guard
             raise WorkerCrashedError(
                 f"replica worker {worker.index} sent {kind!r} before its ready frame"
@@ -238,47 +257,87 @@ class ProcessReplicaPool(ReplicaPoolBase):
             )
         worker.ready = True
 
-    def _call(self, index: int, op: str, texts: list) -> list:
-        """One blocking request/response round-trip (runs on a dispatcher thread)."""
+    def _call(self, index: int, op: str, payload, contexts: list | None = None) -> list:
+        """One blocking request/response round-trip (runs on a dispatcher thread).
+
+        When trace ``contexts`` ride along (data frames only), their ids cross
+        the pipe with the batch, the worker's reply must echo them back —
+        proving the results came from a worker generation that actually saw
+        this batch, across any number of crash/respawn cycles — and each trace
+        gets its ``ipc_roundtrip`` / ``kernel`` spans plus the serving worker's
+        pid before the results are handed back.
+        """
         worker = self._workers[index]
+        trace_ids = (
+            [ctx.trace_id if ctx is not None else None for ctx in contexts]
+            if contexts
+            else None
+        )
+        frame_out = (op, payload) if trace_ids is None else (op, payload, trace_ids)
         try:
             self._ensure_ready(worker)
             try:
-                worker.conn.send((op, texts))
+                worker.conn.send(frame_out)
             except (BrokenPipeError, OSError) as exc:
                 raise WorkerCrashedError(
                     f"replica worker {index} pipe is broken (worker died?)"
                 ) from exc
-            kind, payload = self._recv(worker)
+            frame = self._recv(worker)
         except WorkerCrashedError:
             with self._lifecycle:
                 if not self._closed:
                     self._respawn(index)
             raise
+        kind, reply = frame[0], frame[1]
+        meta = frame[2] if len(frame) > 2 else None
         if kind == "error":
-            raise RuntimeError(f"replica worker {index} failed to {op}: {payload}")
-        return payload
+            raise RuntimeError(f"replica worker {index} failed to {op}: {reply}")
+        if trace_ids is not None:
+            echoed = (meta or {}).get("trace_ids")
+            if echoed is not None and list(echoed) != trace_ids:
+                raise RuntimeError(
+                    f"replica worker {index} echoed trace ids {echoed!r} "
+                    f"for a batch tagged {trace_ids!r}"
+                )
+            self._record_dispatch(
+                contexts,
+                float((meta or {}).get("kernel_seconds", 0.0)),
+                worker_pid=(meta or {}).get("pid"),
+            )
+        return reply
 
     # ------------------------------------------------------------ classification
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes]
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
     ) -> list[ClassificationResult]:
         """Run one worker's vectorized batch path off the event loop."""
         if self._closed:
             raise RuntimeError("replica pool is closed")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._dispatchers[replica_index], self._call, replica_index, "classify", list(texts)
+            self._dispatchers[replica_index],
+            self._call,
+            replica_index,
+            "classify",
+            list(texts),
+            list(contexts) if contexts else None,
         )
 
-    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+    async def segment_batch(
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+    ) -> list:
         """Run one worker's windowed segmentation over a batch off the event loop."""
         if self._closed:
             raise RuntimeError("replica pool is closed")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._dispatchers[replica_index], self._call, replica_index, "segment", list(texts)
+            self._dispatchers[replica_index],
+            self._call,
+            replica_index,
+            "segment",
+            list(texts),
+            list(contexts) if contexts else None,
         )
 
     # ------------------------------------------------------------ model swap
@@ -382,4 +441,15 @@ class ProcessReplicaPool(ReplicaPoolBase):
         info["shared_segment"] = self._shared.name
         info["shared_bytes"] = self._shared.size
         info["respawns_total"] = self.respawns_total
+        # Per-worker liveness so health checks can see a dying fleet before
+        # the next batch trips over it.
+        info["workers"] = [
+            {
+                "index": worker.index,
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+                "ready": worker.ready,
+            }
+            for worker in self._workers
+        ]
         return info

@@ -28,6 +28,7 @@ Two dispatch disciplines are offered by both tiers:
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Sequence
 
@@ -98,14 +99,37 @@ class ReplicaPoolBase:
         """The replica a digest shards onto (stable across calls)."""
         return int.from_bytes(digest[:8], "little") % self._n_replicas
 
+    # ------------------------------------------------------------ tracing
+
+    @staticmethod
+    def _record_dispatch(contexts, kernel_seconds: float, **meta) -> None:
+        """Fold one dispatch round-trip into every trace riding the batch.
+
+        Splits the wall time since each context's last checkpoint into
+        ``ipc_roundtrip`` and ``kernel`` spans (see
+        :meth:`repro.obs.trace.TraceContext.dispatch`); ``kernel_seconds`` was
+        measured inside the worker, so serving overhead never pollutes it.
+        """
+        if not contexts:
+            return
+        now = time.perf_counter()
+        for ctx in contexts:
+            if ctx is None:
+                continue
+            ctx.dispatch(kernel_seconds, now=now)
+            if meta:
+                ctx.note(**meta)
+
     # ------------------------------------------------------------ contract
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes]
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
     ) -> list[ClassificationResult]:
         raise NotImplementedError
 
-    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+    async def segment_batch(
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+    ) -> list:
         """Segment a batch of documents on one replica (mixed-language spans)."""
         raise NotImplementedError
 
@@ -152,26 +176,49 @@ class ThreadReplicaPool(ReplicaPoolBase):
     # ------------------------------------------------------------ classification
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes]
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
     ) -> list[ClassificationResult]:
-        """Run one replica's vectorized batch path in its dedicated thread."""
+        """Run one replica's vectorized batch path in its dedicated thread.
+
+        When trace ``contexts`` ride along (one per text, ``None`` gaps
+        allowed), the kernel is timed on the worker thread itself and each
+        trace gets ``ipc_roundtrip`` + ``kernel`` spans on completion.
+        """
         if self._closed:
             raise RuntimeError("replica pool is closed")
         replica = self.replicas[replica_index]
         executor = self._executors[replica_index]
+        batch = list(texts)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(executor, replica.classify_batch, list(texts))
 
-    async def segment_batch(self, replica_index: int, texts: Sequence[str | bytes]) -> list:
+        def work():
+            t0 = time.perf_counter()
+            results = replica.classify_batch(batch)
+            return results, time.perf_counter() - t0
+
+        results, kernel_seconds = await loop.run_in_executor(executor, work)
+        self._record_dispatch(contexts, kernel_seconds)
+        return results
+
+    async def segment_batch(
+        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+    ) -> list:
         """Run one replica's windowed segmentation over a batch in its thread."""
         if self._closed:
             raise RuntimeError("replica pool is closed")
         replica = self.replicas[replica_index]
         executor = self._executors[replica_index]
+        batch = list(texts)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            executor, lambda: [replica.segment(text) for text in texts]
-        )
+
+        def work():
+            t0 = time.perf_counter()
+            results = [replica.segment(text) for text in batch]
+            return results, time.perf_counter() - t0
+
+        results, kernel_seconds = await loop.run_in_executor(executor, work)
+        self._record_dispatch(contexts, kernel_seconds)
+        return results
 
     # ------------------------------------------------------------ lifecycle
 
@@ -214,6 +261,11 @@ class ThreadReplicaPool(ReplicaPoolBase):
         info = super().describe()
         info["executor"] = self.executor_kind
         info["backend"] = self.replicas[0].config.backend
+        # Thread replicas live and die with the pool: liveness is the pool's.
+        info["workers"] = [
+            {"index": index, "alive": not self._closed}
+            for index in range(self._n_replicas)
+        ]
         return info
 
 

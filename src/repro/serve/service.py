@@ -29,10 +29,12 @@ from collections.abc import Sequence
 
 from repro.api.identifier import LanguageIdentifier
 from repro.core.classifier import ClassificationResult
+from repro.obs import TraceConfig, TraceContext, Tracer
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache, model_fingerprint, text_digest
 from repro.serve.errors import (
     RequestTooLargeError,
+    ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
@@ -74,6 +76,15 @@ class ServeConfig:
     max_document_bytes:
         Largest accepted document; larger ones are rejected with
         :class:`~repro.serve.errors.RequestTooLargeError`.
+    trace_sample_rate:
+        Probability a request's trace is retained in the exemplar ring served
+        by ``GET /debug/traces`` (``repro serve --trace-sample-rate``).
+        Per-stage latency histograms cover *every* request regardless.
+    trace_slow_ms:
+        Requests slower than this are retained even when not sampled
+        (always-keep slow exemplars); ``float("inf")`` disables the rule.
+    trace_ring_size:
+        Bound on retained exemplar traces (most recent win).
     """
 
     max_batch: int = 64
@@ -84,6 +95,17 @@ class ServeConfig:
     cache_size: int = 1024
     max_pending: int = 1024
     max_document_bytes: int = 1 << 20
+    trace_sample_rate: float = 0.01
+    trace_slow_ms: float = 250.0
+    trace_ring_size: int = 256
+
+    def trace_config(self) -> TraceConfig:
+        """The retention policy these knobs describe (validates them too)."""
+        return TraceConfig(
+            sample_rate=self.trace_sample_rate,
+            slow_threshold_ms=self.trace_slow_ms,
+            ring_size=self.trace_ring_size,
+        )
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -107,6 +129,7 @@ class ServeConfig:
             raise ValueError("max_pending must be positive")
         if self.max_document_bytes <= 0:
             raise ValueError("max_document_bytes must be positive")
+        self.trace_config()  # delegate the tracing-knob validation
 
 
 class ClassificationService:
@@ -129,6 +152,15 @@ class ClassificationService:
         Optional registry version name (e.g. ``"v000003"``) of the model;
         reported by ``/healthz`` and ``/metrics`` and updated by
         :meth:`swap_model`.
+    logger:
+        Optional :class:`~repro.obs.logging.JsonLogger`; when present the
+        service emits one structured JSON line per request and per lifecycle
+        event (model swaps, worker respawns, rejections) — ``repro serve
+        --log-json``.
+    tracer:
+        Optional pre-built :class:`~repro.obs.trace.Tracer` (tests inject a
+        deterministic one); by default one is constructed from the config's
+        ``trace_*`` knobs, wired to this service's metrics and logger.
     """
 
     def __init__(
@@ -137,6 +169,8 @@ class ClassificationService:
         config: ServeConfig | None = None,
         cache: ResultCache | None = None,
         model_version: str | None = None,
+        logger=None,
+        tracer: Tracer | None = None,
     ):
         if isinstance(model, (str, Path)):
             model = LanguageIdentifier.load(model)
@@ -145,6 +179,12 @@ class ClassificationService:
         self.identifier = model
         self.config = config if config is not None else ServeConfig()
         self.metrics = ServiceMetrics()
+        self.logger = logger
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(self.config.trace_config(), metrics=self.metrics, logger=logger)
+        )
         self.cache = cache if cache is not None else ResultCache(self.config.cache_size)
         # Cache keys are (model fingerprint || document digest): a restart with
         # a different model fingerprints differently, so stale replays are
@@ -176,7 +216,7 @@ class ClassificationService:
             self._pool = ProcessReplicaPool(
                 self.identifier,
                 self.config.replicas,
-                on_respawn=self.metrics.record_worker_respawn,
+                on_respawn=self._handle_respawn,
             )
         else:
             self._pool = ThreadReplicaPool(self.identifier, self.config.replicas)
@@ -225,6 +265,16 @@ class ClassificationService:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    def _handle_respawn(self, replica_index: int | None = None) -> None:
+        """A crashed replica worker was replaced: count it and log it.
+
+        Called from a dispatcher thread mid-crash, so this must stay cheap
+        and must never raise.
+        """
+        self.metrics.record_worker_respawn()
+        if self.logger is not None:
+            self.logger.event("worker_respawn", replica=replica_index)
+
     # ------------------------------------------------------------ model swap
 
     async def swap_model(
@@ -262,6 +312,15 @@ class ClassificationService:
             evicted = self.cache.evict_fingerprint(old_fingerprint)
             self.metrics.record_model_swap()
             self.metrics.set_model_info(version, self._fingerprint.hex())
+            if self.logger is not None:
+                self.logger.event(
+                    "model_swap",
+                    from_version=old_version,
+                    from_fingerprint=old_fingerprint.hex(),
+                    to_version=version,
+                    to_fingerprint=self._fingerprint.hex(),
+                    cache_entries_evicted=evicted,
+                )
             return {
                 "from": {
                     "version": old_version,
@@ -278,17 +337,45 @@ class ClassificationService:
 
     # ------------------------------------------------------------ classification
 
+    def _open_batch(self, items: Sequence, replica_index: int):
+        """Unpack a flushed batch of ``(text, ctx)`` pairs and stamp its traces.
+
+        Every trace riding the batch closes its ``queue_wait`` span at one
+        shared instant (the flush began for all of them at once), learns which
+        replica and batch it landed in, then closes ``batch_assembly`` once the
+        unpacking/bookkeeping is done — so the spans keep tiling the timeline.
+        """
+        flushed_at = time.perf_counter()
+        texts: list = []
+        contexts: list = []
+        for item in items:
+            if isinstance(item, tuple) and len(item) == 2:
+                text, ctx = item
+            else:  # untraced caller submitting bare texts
+                text, ctx = item, None
+            texts.append(text)
+            contexts.append(ctx)
+        self.metrics.record_batch(len(texts))
+        assembled_at = time.perf_counter()
+        for ctx in contexts:
+            if ctx is None:
+                continue
+            ctx.stage("queue_wait", now=flushed_at)
+            ctx.note(replica=replica_index, batch_size=len(texts))
+            ctx.stage("batch_assembly", now=assembled_at)
+        return texts, contexts
+
     def _make_flush(self, replica_index: int):
-        async def flush(texts: Sequence[str | bytes]) -> Sequence[ClassificationResult]:
-            self.metrics.record_batch(len(texts))
-            return await self._pool.classify_batch(replica_index, texts)
+        async def flush(items: Sequence) -> Sequence[ClassificationResult]:
+            texts, contexts = self._open_batch(items, replica_index)
+            return await self._pool.classify_batch(replica_index, texts, contexts)
 
         return flush
 
     def _make_segment_flush(self, replica_index: int):
-        async def flush(texts: Sequence[str | bytes]) -> Sequence:
-            self.metrics.record_batch(len(texts))
-            return await self._pool.segment_batch(replica_index, texts)
+        async def flush(items: Sequence) -> Sequence:
+            texts, contexts = self._open_batch(items, replica_index)
+            return await self._pool.segment_batch(replica_index, texts, contexts)
 
         return flush
 
@@ -301,38 +388,71 @@ class ClassificationService:
         return batchers[self._pool.next_round_robin()]
 
     async def _submit(self, text: str | bytes, batchers: list[MicroBatcher], kind: str):
-        """The shared admission pipeline: size check, cache, micro-batch, record."""
+        result, _ctx = await self._submit_traced(text, batchers, kind)
+        return result
+
+    def _reject(self, ctx: TraceContext, kind: str, reason: str, **fields) -> None:
+        self.metrics.record_rejection(reason)
+        if self.logger is not None:
+            self.logger.event(
+                "rejection", request_id=ctx.trace_id, kind=kind, reason=reason, **fields
+            )
+
+    async def _submit_traced(
+        self, text: str | bytes, batchers: list[MicroBatcher], kind: str
+    ) -> tuple:
+        """The shared admission pipeline: size check, cache, micro-batch, record.
+
+        Every request is minted a :class:`~repro.obs.trace.TraceContext` whose
+        spans tile its lifetime — admission, cache_lookup, then (on a miss)
+        queue_wait / batch_assembly / ipc_roundtrip / kernel stamped by the
+        flush path, and finally respond.  Returns ``(result, context)``; errors
+        carry the request id out via ``ServeError.request_id`` and close the
+        trace with an ``error:*`` status.
+        """
         if not self.is_running:
             raise ServiceClosedError("service is not running; use 'async with' or start()")
-        n_bytes = self._document_bytes(text)
-        if n_bytes > self.config.max_document_bytes:
-            self.metrics.record_rejection("too-large")
-            raise RequestTooLargeError(
-                f"document of {n_bytes} bytes exceeds the "
-                f"{self.config.max_document_bytes}-byte limit"
-            )
-        start = time.perf_counter()
-        digest = text_digest(text)
-        # The op name is baked into the key so a classify result can never be
-        # replayed for a segment request (and vice versa) on the shared cache.
-        cache_key = self._fingerprint + kind.encode("ascii") + b":" + digest
-        cached = self.cache.get(cache_key)
-        if cached is not None:
-            self.metrics.record_request(n_bytes, kind=kind)
-            self.metrics.record_response(time.perf_counter() - start, cached=True)
-            return cached
+        ctx = self.tracer.begin(kind)
         try:
-            future = self._pick_batcher(batchers, digest).submit_nowait(text)
-        except ServiceOverloadedError:
-            self.metrics.record_rejection("overload")
+            n_bytes = self._document_bytes(text)
+            if n_bytes > self.config.max_document_bytes:
+                self._reject(ctx, kind, "too-large", bytes=n_bytes)
+                raise RequestTooLargeError(
+                    f"document of {n_bytes} bytes exceeds the "
+                    f"{self.config.max_document_bytes}-byte limit"
+                )
+            digest = text_digest(text)
+            # The op name is baked into the key so a classify result can never
+            # be replayed for a segment request (and vice versa) on the shared
+            # cache.
+            cache_key = self._fingerprint + kind.encode("ascii") + b":" + digest
+            ctx.stage("admission")
+            cached = self.cache.get(cache_key)
+            ctx.stage("cache_lookup")
+            if cached is not None:
+                self.metrics.record_request(n_bytes, kind=kind)
+                self.tracer.finish(ctx, cached=True)
+                self.metrics.record_response(ctx.duration_seconds, cached=True)
+                return cached, ctx
+            try:
+                future = self._pick_batcher(batchers, digest).submit_nowait((text, ctx))
+            except ServiceOverloadedError:
+                self._reject(ctx, kind, "overload")
+                raise
+            # admitted: requests_total / bytes_total count only documents the
+            # service accepted, so rejections never inflate throughput_mb_s
+            self.metrics.record_request(n_bytes, kind=kind)
+            result = await future
+            self.cache.put(cache_key, result)
+            self.tracer.finish(ctx)
+            self.metrics.record_response(ctx.duration_seconds)
+            return result, ctx
+        except BaseException as exc:
+            if isinstance(exc, ServeError):
+                exc.request_id = ctx.trace_id
+            if ctx.duration_seconds is None:  # not finished by a success path
+                self.tracer.finish(ctx, status=f"error:{type(exc).__name__}")
             raise
-        # admitted: requests_total / bytes_total count only documents the
-        # service accepted, so rejections never inflate throughput_mb_s
-        self.metrics.record_request(n_bytes, kind=kind)
-        result = await future
-        self.cache.put(cache_key, result)
-        self.metrics.record_response(time.perf_counter() - start)
-        return result
 
     async def classify(self, text: str | bytes) -> ClassificationResult:
         """Classify one document through the cache + micro-batch pipeline.
@@ -348,9 +468,26 @@ class ClassificationService:
         """
         return await self._submit(text, self._batchers, "classify")
 
+    async def classify_traced(
+        self, text: str | bytes
+    ) -> tuple[ClassificationResult, TraceContext]:
+        """:meth:`classify`, returning ``(result, trace_context)``.
+
+        The context carries the request id (the HTTP layer's ``X-Request-Id``)
+        and the per-stage span waterfall; same exception contract as
+        :meth:`classify`.
+        """
+        return await self._submit_traced(text, self._batchers, "classify")
+
     async def classify_many(self, texts: Sequence[str | bytes]) -> list[ClassificationResult]:
         """Classify several documents concurrently (one result per input, in order)."""
         return list(await asyncio.gather(*(self.classify(text) for text in texts)))
+
+    async def classify_many_traced(
+        self, texts: Sequence[str | bytes]
+    ) -> list[tuple[ClassificationResult, TraceContext]]:
+        """:meth:`classify_many`, returning ``(result, trace_context)`` pairs."""
+        return list(await asyncio.gather(*(self.classify_traced(text) for text in texts)))
 
     async def segment(self, text: str | bytes):
         """Segment one mixed-language document into single-language spans.
@@ -364,9 +501,17 @@ class ClassificationService:
         """
         return await self._submit(text, self._segment_batchers, "segment")
 
+    async def segment_traced(self, text: str | bytes) -> tuple:
+        """:meth:`segment`, returning ``(result, trace_context)``."""
+        return await self._submit_traced(text, self._segment_batchers, "segment")
+
     async def segment_many(self, texts: Sequence[str | bytes]) -> list:
         """Segment several documents concurrently (one result per input, in order)."""
         return list(await asyncio.gather(*(self.segment(text) for text in texts)))
+
+    async def segment_many_traced(self, texts: Sequence[str | bytes]) -> list[tuple]:
+        """:meth:`segment_many`, returning ``(result, trace_context)`` pairs."""
+        return list(await asyncio.gather(*(self.segment_traced(text) for text in texts)))
 
     # ------------------------------------------------------------ introspection
 
@@ -375,7 +520,14 @@ class ClassificationService:
         return self.identifier.languages
 
     def describe(self) -> dict:
-        """Service topology + model description (served by ``GET /healthz``)."""
+        """Service topology + saturation + model description (``GET /healthz``).
+
+        Load balancers get leading indicators, not just ``"ok"``: the live
+        queue depth (total and per replica), how long the oldest queued
+        request has waited, and per-worker replica liveness — so saturation
+        and a dying worker fleet are visible *before* overload rejections or
+        crashed batches start.
+        """
         info = {
             "status": "ok" if self.is_running else "stopped",
             "languages": self.languages,
@@ -389,9 +541,15 @@ class ClassificationService:
             "model_fingerprint": self._fingerprint.hex(),
             "model_version": self.model_version,
             "model_swaps_total": self.metrics.model_swaps_total,
+            "tracing": self.tracer.describe(),
         }
         if self._pool is not None:
+            all_batchers = (*self._batchers, *self._segment_batchers)
             info["pending"] = [len(batcher) for batcher in self._batchers]
             info["segment_pending"] = [len(batcher) for batcher in self._segment_batchers]
+            info["queue_depth"] = sum(len(batcher) for batcher in all_batchers)
+            info["oldest_wait_ms"] = 1e3 * max(
+                (batcher.oldest_wait_seconds() for batcher in all_batchers), default=0.0
+            )
             info["pool"] = self._pool.describe()
         return info

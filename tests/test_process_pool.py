@@ -167,7 +167,9 @@ class TestProcessReplicaPool:
     def test_crash_is_detected_respawned_and_leak_free(self, identifier, texts):
         async def scenario():
             respawns = []
-            pool = ProcessReplicaPool(identifier, 1, on_respawn=lambda: respawns.append(1))
+            pool = ProcessReplicaPool(
+                identifier, 1, on_respawn=lambda index: respawns.append(index)
+            )
             segment = pool.shared_segment_name
             try:
                 before = await pool.classify_batch(0, texts[:3])
@@ -177,7 +179,7 @@ class TestProcessReplicaPool:
                 # the pool must have healed itself: same answers, same segment
                 after = await pool.classify_batch(0, texts[:3])
                 assert [r.match_counts for r in after] == [r.match_counts for r in before]
-                assert pool.respawns_total == 1 and respawns == [1]
+                assert pool.respawns_total == 1 and respawns == [0]
                 assert segment_exists(segment)
             finally:
                 pool.close()
@@ -266,12 +268,12 @@ class TestSwapHygiene:
             direct_blue = identifier.classify_batch(texts)
             original_call = pool._call
 
-            def failing_call(index, op, payload):
+            def failing_call(index, op, payload, contexts=None):
                 # worker 0 swaps to green, then worker 1's swap fails; the
                 # rollback swap back to blue must still be allowed through
                 if op == "swap" and index == 1 and payload != blue:
                     raise RuntimeError("injected swap failure")
-                return original_call(index, op, payload)
+                return original_call(index, op, payload, contexts)
 
             pool._call = failing_call
             try:

@@ -185,15 +185,34 @@ class TestServiceMetrics:
         assert snapshot["rejected_overload"] == 1
         assert snapshot["rejected_too_large"] == 1
         assert snapshot["batch_size_histogram"] == {"1": 1, "4": 2, "8": 1}
-        assert snapshot["latency_ms"]["p50"] == pytest.approx(5.5)
+        # bucketed percentiles interpolate within the le-bucket: the 0.001 s
+        # observation sits in the (0.0005, 0.001] bucket, so p50 reads 1 ms
+        assert snapshot["latency_ms"]["p50"] == pytest.approx(1.0)
+        request_histogram = snapshot["stage_latency_seconds"]["request"]
+        assert request_histogram["count"] == 2
+        assert request_histogram["sum"] == pytest.approx(0.011)
         assert metrics.mean_batch_size == pytest.approx((1 + 4 + 4 + 8) / 4)
 
     def test_render_text_exposition(self):
         metrics = ServiceMetrics()
         metrics.record_batch(2)
+        metrics.record_response(0.003)
+        metrics.observe_stage("kernel", 0.002)
         text = metrics.render_text()
         assert "repro_serve_batches_total 1" in text
         assert 'repro_serve_batch_size_total{size="2"} 1' in text
+        # proper exposition: HELP/TYPE lines for every family
+        assert "# HELP repro_serve_batches_total" in text
+        assert "# TYPE repro_serve_batches_total counter" in text
+        assert "# TYPE repro_serve_stage_duration_seconds histogram" in text
+        # spec-conformant quantile labels (not the historical p50 style)
+        assert 'repro_serve_latency_seconds{quantile="0.5"}' in text
+        assert 'quantile="p50"' not in text
+        # histogram series: cumulative le buckets plus _sum/_count per stage
+        assert 'repro_serve_stage_duration_seconds_bucket{stage="kernel",le="0.0025"} 1' in text
+        assert 'repro_serve_stage_duration_seconds_bucket{stage="kernel",le="+Inf"} 1' in text
+        assert 'repro_serve_stage_duration_seconds_count{stage="kernel"} 1' in text
+        assert 'repro_serve_stage_duration_seconds_count{stage="request"} 1' in text
 
     def test_percentile_empty_and_singleton_samples(self):
         # empty reservoir: every percentile is 0.0, not an IndexError
@@ -212,24 +231,46 @@ class TestServiceMetrics:
         assert snapshot["batch_size_histogram"] == {}
         assert snapshot["latency_seconds"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
-    def test_reservoir_keeps_most_recent_observations(self):
-        metrics = ServiceMetrics(reservoir_size=8)
-        # 100 old slow responses followed by 8 fast ones: percentiles must
-        # reflect only the newest reservoir_size observations
+    def test_latency_histogram_covers_full_history(self):
+        metrics = ServiceMetrics()
+        # Histograms aggregate the whole serving window (unlike the old
+        # bounded reservoir): 100 slow responses stay visible in the
+        # percentiles after 8 fast ones arrive.
         for _ in range(100):
             metrics.record_response(5.0)
         for _ in range(8):
             metrics.record_response(0.001)
         percentiles = metrics.latency_percentiles()
-        assert percentiles["p99"] == pytest.approx(0.001)
-        # ...while the monotone counters keep the full history
+        assert percentiles["p50"] > 1.0  # dominated by the slow majority
         assert metrics.responses_total == 108
+        assert metrics.stage_histograms()["request"]["count"] == 108
 
-    def test_reservoir_size_validation(self):
+    def test_latency_bucket_validation(self):
         with pytest.raises(ValueError):
-            ServiceMetrics(reservoir_size=0)
+            ServiceMetrics(latency_buckets=())
         with pytest.raises(ValueError):
-            ServiceMetrics(reservoir_size=-5)
+            ServiceMetrics(latency_buckets=(0.1, 0.05))  # not increasing
+        with pytest.raises(ValueError):
+            ServiceMetrics(latency_buckets=(-0.1, 0.05))  # non-positive bound
+
+    def test_latency_histogram_percentiles(self):
+        from repro.serve.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram((0.1, 0.2, 0.4))
+        assert histogram.percentile(50) == 0.0  # empty
+        for _ in range(10):
+            histogram.observe(0.15)  # (0.1, 0.2] bucket
+        # rank interpolates linearly across the observation's bucket
+        assert histogram.percentile(0) == pytest.approx(0.1)
+        assert histogram.percentile(50) == pytest.approx(0.15)
+        assert histogram.percentile(100) == pytest.approx(0.2)
+        histogram.observe(99.0)  # overflow clamps to the last finite bound
+        assert histogram.percentile(100) == pytest.approx(0.4)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"0.1": 0, "0.2": 10, "0.4": 10, "+Inf": 11}
+        assert snapshot["count"] == 11
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
 
     def test_snapshot_stable_under_concurrent_recording(self):
         """Replica worker threads record while the event loop snapshots.
@@ -240,7 +281,7 @@ class TestServiceMetrics:
         """
         import threading
 
-        metrics = ServiceMetrics(reservoir_size=64)
+        metrics = ServiceMetrics()
         n_writers, per_writer = 4, 3000
         start = threading.Barrier(n_writers + 1)
         failures: list[BaseException] = []

@@ -263,6 +263,23 @@ class TestHealthAndMetrics:
         assert payload["status"] == "ok"
         assert payload["languages"] == identifier.languages
 
+    def test_healthz_reports_saturation_and_liveness(self, identifier):
+        async def scenario(client, _service):
+            return await client.request_json("GET", "/healthz")
+
+        status, payload = run_with_server(identifier, scenario)
+        assert status == 200
+        # queue-depth saturation signals: visible before overload rejections
+        assert payload["queue_depth"] == 0
+        assert payload["oldest_wait_ms"] == 0.0
+        # replica liveness, per worker
+        workers = payload["pool"]["workers"]
+        assert len(workers) == 1
+        assert workers[0] == {"index": 0, "alive": True}
+        # tracing policy and ring occupancy ride along
+        assert payload["tracing"]["ring_occupancy"] == 0
+        assert 0.0 <= payload["tracing"]["sample_rate"] <= 1.0
+
     def test_metrics_json_counts_requests(self, identifier):
         async def scenario(client, _service):
             await client.request_json("POST", "/classify", {"text": "bonjour le monde"})
@@ -285,6 +302,94 @@ class TestHealthAndMetrics:
         status, text = run_with_server(identifier, scenario)
         assert status == 200
         assert "repro_serve_requests_total 1" in text
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_latency_seconds{quantile="0.99"}' in text
+        assert 'repro_serve_stage_duration_seconds_bucket{stage="kernel",le="+Inf"} 1' in text
+
+
+class TestTracingEndpoints:
+    @staticmethod
+    def _config():
+        return ServeConfig(
+            max_delay_ms=1.0, trace_sample_rate=1.0, trace_slow_ms=float("inf")
+        )
+
+    def test_classify_responses_carry_request_ids(self, identifier):
+        async def scenario(client, service):
+            status, headers, raw = await client.request_full(
+                "POST", "/classify", {"text": "quel est ce document ?"}
+            )
+            return status, headers, json.loads(raw), service.tracer.export()
+
+        status, headers, payload, traces = run_with_server(
+            identifier, scenario, config=self._config()
+        )
+        assert status == 200 and payload["language"] in identifier.languages
+        request_id = headers["x-request-id"]
+        # the id names a retained trace whose waterfall includes the HTTP
+        # serialize span appended after the service closed the trace
+        trace = next(t for t in traces if t["request_id"] == request_id)
+        stages = [s["stage"] for s in trace["spans"]]
+        assert stages[-1] == "serialize"
+        assert "kernel" in stages
+        assert trace["duration_ms"] == pytest.approx(
+            sum(s["duration_ms"] for s in trace["spans"])
+        )
+
+    def test_batched_request_reports_first_trace_id(self, identifier):
+        async def scenario(client, _service):
+            return await client.request_full(
+                "POST", "/classify", {"texts": ["uno", "dos", "tres"]}
+            )
+
+        status, headers, _raw = run_with_server(
+            identifier, scenario, config=self._config()
+        )
+        assert status == 200
+        assert len(headers["x-request-id"]) == 16
+
+    def test_rejection_error_carries_request_id(self, identifier):
+        async def scenario(client, _service):
+            return await client.request_full("POST", "/classify", {"text": "y" * 64})
+
+        config = ServeConfig(
+            max_delay_ms=1.0, max_document_bytes=16, trace_sample_rate=1.0
+        )
+        status, headers, _raw = run_with_server(identifier, scenario, config=config)
+        assert status == 413
+        assert len(headers["x-request-id"]) == 16
+
+    def test_debug_traces_returns_waterfalls(self, identifier):
+        async def scenario(client, _service):
+            for text in ("primero", "segundo", "tercero"):
+                await client.request_json("POST", "/classify", {"text": text})
+            return await client.request_json("GET", "/debug/traces")
+
+        status, payload = run_with_server(identifier, scenario, config=self._config())
+        assert status == 200
+        assert len(payload["traces"]) == 3
+        newest = payload["traces"][0]
+        assert {"stage", "offset_ms", "duration_ms"} <= set(newest["spans"][0])
+        assert payload["config"]["sample_rate"] == 1.0
+        assert payload["config"]["traces_retained"] == 3
+
+    def test_debug_traces_limit_and_errors(self, identifier):
+        async def scenario(client, _service):
+            await client.request_json("POST", "/classify", {"text": "un documento"})
+            await client.request_json("POST", "/classify", {"text": "otro documento"})
+            limited = await client.request_json("GET", "/debug/traces?limit=1")
+            bad = await client.request_json("GET", "/debug/traces?limit=frog")
+            status_405, headers_405, _ = await client.request_full(
+                "POST", "/debug/traces", {}
+            )
+            return limited, bad, status_405, headers_405
+
+        limited, bad, status_405, headers_405 = run_with_server(
+            identifier, scenario, config=self._config()
+        )
+        assert limited[0] == 200 and len(limited[1]["traces"]) == 1
+        assert bad[0] == 400
+        assert status_405 == 405 and headers_405["allow"] == "GET"
 
 
 class TestBodyLimits:

@@ -73,6 +73,7 @@ class BloomBackend(Backend):
             hash_family=config.hash_family,
             seed=config.seed,
             subsample_stride=config.subsample_stride,
+            hash_mode=config.resolved_hash_mode,
         )
         self._stacked_bits: np.ndarray | None = None
 
@@ -256,7 +257,10 @@ class ExactBackend(Backend):
     def __init__(self, config: ClassifierConfig):
         super().__init__(config)
         self.classifier = ExactNGramClassifier(
-            n=config.n, t=config.t, subsample_stride=config.subsample_stride
+            n=config.n,
+            t=config.t,
+            subsample_stride=config.subsample_stride,
+            hash_mode=config.resolved_hash_mode,
         )
 
     def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:
@@ -298,6 +302,11 @@ class HardwareSimBackend(Backend):
             raise ValueError(
                 "the hw-sim backend models the paper's H3 hash hardware; "
                 f"hash_family={config.hash_family!r} is not supported"
+            )
+        if config.resolved_hash_mode != "packed":
+            raise ValueError(
+                "the hw-sim backend models the paper's packed-key datapath; "
+                'rolling fingerprints are a software extension (use backend="bloom")'
             )
         self.engine = ParallelMultiLanguageClassifier(
             m_bits=config.m_bits,
@@ -445,7 +454,11 @@ class HailBackend(Backend):
     def __init__(self, config: ClassifierConfig):
         super().__init__(config)
         self.classifier = HailClassifier(
-            table_bits=self.TABLE_BITS, n=config.n, t=config.t, seed=config.seed
+            table_bits=self.TABLE_BITS,
+            n=config.n,
+            t=config.t,
+            seed=config.seed,
+            hash_mode=config.resolved_hash_mode,
         )
 
     def fit_profiles(self, profiles: Mapping[str, LanguageProfile]) -> None:

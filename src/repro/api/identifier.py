@@ -22,7 +22,7 @@ import numpy as np
 from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
 from repro.api.config import DEFAULT_STREAM_BATCH_SIZE, ClassifierConfig
 from repro.api.registry import Backend, create_backend
-from repro.core.classifier import ClassificationResult
+from repro.core.classifier import ClassificationResult, undetermined_result
 from repro.core.ngram import NGramExtractor
 from repro.core.profile import LanguageProfile, build_profiles
 
@@ -49,7 +49,11 @@ class LanguageIdentifier:
         elif overrides:
             config = config.replace(**overrides)
         self.config = config
-        self.extractor = NGramExtractor(n=config.n, subsample_stride=config.subsample_stride)
+        self.extractor = NGramExtractor(
+            n=config.n,
+            subsample_stride=config.subsample_stride,
+            mode=config.resolved_hash_mode,
+        )
         self._backend = create_backend(config)
 
     # ------------------------------------------------------------ introspection
@@ -108,6 +112,10 @@ class LanguageIdentifier:
 
     def _result_from_counts(self, counts: np.ndarray, ngram_count: int) -> ClassificationResult:
         languages = self.languages
+        if ngram_count == 0:
+            # no n-gram evidence at all (empty or shorter than n): the explicit
+            # zero-confidence "und" result, matching classify_packed
+            return undetermined_result(languages)
         best = int(np.argmax(counts)) if counts.size else 0
         return ClassificationResult(
             language=languages[best],

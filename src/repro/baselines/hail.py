@@ -59,6 +59,10 @@ class HailClassifier:
         N-gram order and per-language profile size (as in the main design).
     seed:
         Seed of the table's index hash.
+    hash_mode:
+        N-gram key generation (``"packed"`` or ``"rolling"``); the index hash
+        adapts its key width, so large-n rolling fingerprints index the same
+        SRAM table model.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class HailClassifier:
         n: int = DEFAULT_N,
         t: int = DEFAULT_PROFILE_SIZE,
         seed: int = 0,
+        hash_mode: str = "packed",
     ):
         if table_bits <= 0 or table_bits > 30:
             raise ValueError("table_bits must be in [1, 30]")
@@ -74,7 +79,7 @@ class HailClassifier:
         self.n = int(n)
         self.t = int(t)
         self.seed = int(seed)
-        self.extractor = NGramExtractor(n=self.n)
+        self.extractor = NGramExtractor(n=self.n, mode=hash_mode)
         self._index_hash = H3Hash(
             key_bits=self.extractor.key_bits, out_bits=self.table_bits, seed=seed
         )

@@ -7,6 +7,9 @@ of the paper:
     8-bit extended ASCII (ISO-8859-1) to 5-bit code conversion (Section 3.3).
 ``ngram``
     Sliding-window n-gram extraction and packing into integer keys.
+``rolling``
+    Vectorized Rabin-Karp rolling fingerprints: 64-bit n-gram keys for n
+    beyond the packed 64-bit capacity (a software extension of the datapath).
 ``profile``
     Language profiles: the top-*t* most frequent n-grams of a training set.
 ``bloom``
@@ -33,17 +36,22 @@ from repro.core.classifier import (
     BloomNGramClassifier,
     ClassificationResult,
     ExactNGramClassifier,
+    UNDETERMINED_LANGUAGE,
+    undetermined_result,
 )
 from repro.core.fpr import (
     expected_matches,
     false_positive_rate,
     false_positive_rate_classic,
     false_positives_per_thousand,
+    fingerprint_collision_rate,
     optimal_k,
     required_bits_per_vector,
+    rolling_false_positive_rate,
 )
 from repro.core.ngram import (
     DEFAULT_N,
+    EXTRACTION_MODES,
     NGramExtractor,
     count_ngrams,
     ngram_to_string,
@@ -52,6 +60,12 @@ from repro.core.ngram import (
     subsample,
     top_ngrams,
     unpack_ngram,
+)
+from repro.core.rolling import (
+    FINGERPRINT_BITS,
+    ROLLING_BASE,
+    fingerprint_window,
+    rolling_fingerprints,
 )
 from repro.core.profile import LanguageProfile, build_profiles
 
@@ -68,14 +82,23 @@ __all__ = [
     "BloomNGramClassifier",
     "ClassificationResult",
     "ExactNGramClassifier",
+    "UNDETERMINED_LANGUAGE",
+    "undetermined_result",
     "expected_matches",
     "false_positive_rate",
     "false_positive_rate_classic",
     "false_positives_per_thousand",
+    "fingerprint_collision_rate",
+    "rolling_false_positive_rate",
     "optimal_k",
     "required_bits_per_vector",
     "DEFAULT_N",
+    "EXTRACTION_MODES",
     "NGramExtractor",
+    "FINGERPRINT_BITS",
+    "ROLLING_BASE",
+    "fingerprint_window",
+    "rolling_fingerprints",
     "count_ngrams",
     "ngram_to_string",
     "ngrams_from_text",

@@ -39,7 +39,29 @@ __all__ = [
     "BloomNGramClassifier",
     "ExactNGramClassifier",
     "normalized_separation",
+    "undetermined_result",
+    "UNDETERMINED_LANGUAGE",
 ]
+
+#: the explicit zero-evidence label (ISO 639-2 "undetermined"): returned when a
+#: document yields no n-grams at all (empty, or shorter than ``n``), so callers
+#: can tell "no evidence" apart from "first language won a genuine tie"
+UNDETERMINED_LANGUAGE = "und"
+
+
+def undetermined_result(languages: Iterable[str]) -> "ClassificationResult":
+    """The canonical zero-evidence result: ``und`` label, all-zero counts.
+
+    Shared by every classification surface (raw classifiers, the
+    :class:`~repro.api.identifier.LanguageIdentifier` facade and the
+    segmenter's too-short path) so abstention/ensemble logic can rely on one
+    representation of "this document carried no n-gram evidence".
+    """
+    return ClassificationResult(
+        language=UNDETERMINED_LANGUAGE,
+        match_counts={language: 0 for language in languages},
+        ngram_count=0,
+    )
 
 
 def normalized_separation(top: int, rival: int) -> float:
@@ -64,7 +86,11 @@ class ClassificationResult:
     ----------
     language:
         The predicted language (highest match count; ties broken by language order,
-        which mirrors the deterministic priority encoder a hardware design would use).
+        which mirrors the deterministic priority encoder a hardware design would
+        use).  A document yielding no n-grams at all (empty or shorter than
+        ``n``) carries no evidence and is labelled
+        :data:`UNDETERMINED_LANGUAGE` (``"und"``) with zero confidence instead
+        of silently winning the all-zero tie for the first language.
     match_counts:
         Mapping from language to its match counter value.
     ngram_count:
@@ -124,10 +150,14 @@ class _ClassifierBase:
         n: int = DEFAULT_N,
         t: int = DEFAULT_PROFILE_SIZE,
         subsample_stride: int = 1,
+        hash_mode: str = "packed",
     ):
         self.n = int(n)
         self.t = int(t)
-        self.extractor = NGramExtractor(n=self.n, subsample_stride=subsample_stride)
+        self.hash_mode = hash_mode
+        self.extractor = NGramExtractor(
+            n=self.n, subsample_stride=subsample_stride, mode=hash_mode
+        )
         self.profiles: dict[str, LanguageProfile] = {}
 
     # -- training ------------------------------------------------------------
@@ -171,12 +201,22 @@ class _ClassifierBase:
         raise NotImplementedError
 
     def classify_packed(self, packed: np.ndarray) -> ClassificationResult:
-        """Classify a document given its packed n-grams."""
+        """Classify a document given its n-gram keys.
+
+        A document yielding zero n-grams (empty, or shorter than ``n``) has no
+        evidence to rank languages with and comes back as the explicit
+        :func:`undetermined_result` (``"und"``, zero confidence).  With at
+        least one n-gram the argmax rule applies; all-zero *match* counts are
+        a genuine n-way tie, resolved deterministically in favour of the first
+        trained language (the priority-encoder rule the hardware uses).
+        """
         self._check_trained()
         packed = np.asarray(packed, dtype=np.uint64)
-        counts = self.match_counts(packed)
         languages = self.languages
-        best = int(np.argmax(counts)) if counts.size else 0
+        if packed.size == 0:
+            return undetermined_result(languages)
+        counts = self.match_counts(packed)
+        best = int(np.argmax(counts))
         return ClassificationResult(
             language=languages[best],
             match_counts={lang: int(c) for lang, c in zip(languages, counts)},
@@ -212,6 +252,11 @@ class BloomNGramClassifier(_ClassifierBase):
         address identical bit-vector cells (used by the hardware-equivalence tests).
     subsample_stride:
         Optional HAIL-style n-gram subsampling applied at classification time.
+    hash_mode:
+        N-gram key generation: ``"packed"`` bit-packed windows (n capped at
+        12), or ``"rolling"`` 64-bit rolling fingerprints
+        (:mod:`repro.core.rolling`) for arbitrarily large n.  The hash family
+        then sees 64-bit keys; ``"multiply-shift"`` is the fast choice there.
     """
 
     def __init__(
@@ -223,8 +268,9 @@ class BloomNGramClassifier(_ClassifierBase):
         hash_family: str | HashFamily = "h3",
         seed: int = 0,
         subsample_stride: int = 1,
+        hash_mode: str = "packed",
     ):
-        super().__init__(n=n, t=t, subsample_stride=subsample_stride)
+        super().__init__(n=n, t=t, subsample_stride=subsample_stride, hash_mode=hash_mode)
         self.m_bits = int(m_bits)
         self.k = int(k)
         self.seed = int(seed)
@@ -314,8 +360,9 @@ class ExactNGramClassifier(_ClassifierBase):
         n: int = DEFAULT_N,
         t: int = DEFAULT_PROFILE_SIZE,
         subsample_stride: int = 1,
+        hash_mode: str = "packed",
     ):
-        super().__init__(n=n, t=t, subsample_stride=subsample_stride)
+        super().__init__(n=n, t=t, subsample_stride=subsample_stride, hash_mode=hash_mode)
         self._sorted_profiles: dict[str, np.ndarray] = {}
 
     def _program(self) -> None:

@@ -17,9 +17,11 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.core.alphabet import CODE_BITS, AlphabetConverter, decode_codes, encode_text
+from repro.core.rolling import FINGERPRINT_BITS, rolling_fingerprints
 
 __all__ = [
     "DEFAULT_N",
+    "EXTRACTION_MODES",
     "pack_ngrams",
     "ngrams_from_text",
     "unpack_ngram",
@@ -35,6 +37,11 @@ __all__ = [
 
 #: n-gram order used throughout the paper (Section 4: "we use n-grams of size 4")
 DEFAULT_N = 4
+
+#: key generation modes of :class:`NGramExtractor`: ``"packed"`` concatenates
+#: code bits (n <= 64 // code_bits), ``"rolling"`` emits 64-bit Rabin-Karp
+#: fingerprints (:mod:`repro.core.rolling`) and supports unbounded n
+EXTRACTION_MODES = ("packed", "rolling")
 
 
 def pack_ngrams(codes: np.ndarray, n: int = DEFAULT_N, code_bits: int = CODE_BITS) -> np.ndarray:
@@ -79,8 +86,10 @@ def ngrams_from_text(
     converter: AlphabetConverter | None = None,
 ) -> np.ndarray:
     """Convenience helper: alphabet-convert ``text`` and pack its n-grams."""
-    codes = converter.encode(text) if converter is not None else encode_text(text)
-    return pack_ngrams(codes, n=n)
+    if converter is not None:
+        # honour the converter's code width, exactly like NGramExtractor.extract
+        return pack_ngrams(converter.encode(text), n=n, code_bits=converter.code_bits)
+    return pack_ngrams(encode_text(text), n=n)
 
 
 def unpack_ngram(value: int, n: int = DEFAULT_N, code_bits: int = CODE_BITS) -> tuple[int, ...]:
@@ -174,9 +183,12 @@ def merge_ngram_counts(
     if values.size == 0:
         return values, counts
     merged, inverse = np.unique(values, return_inverse=True)
-    # bincount with int64 weights is exact far beyond any realistic count
-    summed = np.bincount(inverse, weights=counts, minlength=merged.size)
-    return merged, summed.astype(np.int64)
+    # integer scatter-add: np.bincount(..., weights=...) would route the sums
+    # through float64, which silently loses exactness above 2**53 — far below
+    # the corpus scales streaming training targets (Infini-gram in PAPERS.md)
+    summed = np.zeros(merged.size, dtype=np.int64)
+    np.add.at(summed, inverse, counts)
+    return merged, summed
 
 
 def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -210,7 +222,7 @@ def subsample(packed: np.ndarray, stride: int) -> np.ndarray:
 
 
 class NGramExtractor:
-    """Configured n-gram extraction pipeline (alphabet conversion + packing).
+    """Configured n-gram extraction pipeline (alphabet conversion + key generation).
 
     Parameters
     ----------
@@ -221,6 +233,13 @@ class NGramExtractor:
         when omitted.
     subsample_stride:
         If greater than 1, only every ``subsample_stride``-th n-gram is emitted.
+    mode:
+        ``"packed"`` (default) concatenates the window's code bits into one
+        integer key, capping ``n`` at ``64 // code_bits``; ``"rolling"`` emits
+        64-bit Rabin-Karp fingerprints computed incrementally across the whole
+        buffer (:func:`repro.core.rolling.rolling_fingerprints`), which
+        supports arbitrarily large ``n`` and skips the per-window bit packing
+        entirely — each fingerprint extends the previous one in O(1).
     """
 
     def __init__(
@@ -228,24 +247,40 @@ class NGramExtractor:
         n: int = DEFAULT_N,
         converter: AlphabetConverter | None = None,
         subsample_stride: int = 1,
+        mode: str = "packed",
     ):
         if n <= 0:
             raise ValueError("n must be positive")
         if subsample_stride <= 0:
             raise ValueError("subsample_stride must be positive")
+        if mode not in EXTRACTION_MODES:
+            raise ValueError(
+                f"unknown extraction mode {mode!r}; choose from {list(EXTRACTION_MODES)}"
+            )
         self.n = int(n)
         self.converter = converter if converter is not None else AlphabetConverter()
         self.subsample_stride = int(subsample_stride)
+        self.mode = mode
+        if mode == "packed" and self.n * self.converter.code_bits > 64:
+            raise ValueError(
+                f"{self.n}-grams of {self.converter.code_bits}-bit codes do not fit "
+                'in 64 bits; use mode="rolling" for large n'
+            )
 
     @property
     def key_bits(self) -> int:
-        """Width in bits of the packed n-gram keys produced by this extractor."""
+        """Width in bits of the n-gram keys produced by this extractor."""
+        if self.mode == "rolling":
+            return FINGERPRINT_BITS
         return self.n * self.converter.code_bits
 
     def extract(self, text: str | bytes) -> np.ndarray:
-        """Extract packed n-grams from a document."""
+        """Extract n-gram keys (packed windows or rolling fingerprints) from a document."""
         codes = self.converter.encode(text)
-        packed = pack_ngrams(codes, n=self.n, code_bits=self.converter.code_bits)
+        if self.mode == "rolling":
+            packed = rolling_fingerprints(codes, n=self.n)
+        else:
+            packed = pack_ngrams(codes, n=self.n, code_bits=self.converter.code_bits)
         if self.subsample_stride > 1:
             packed = subsample(packed, self.subsample_stride)
         return packed
@@ -262,6 +297,6 @@ class NGramExtractor:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
-            f"NGramExtractor(n={self.n}, subsample_stride={self.subsample_stride}, "
-            f"converter={self.converter!r})"
+            f"NGramExtractor(n={self.n}, mode={self.mode!r}, "
+            f"subsample_stride={self.subsample_stride}, converter={self.converter!r})"
         )

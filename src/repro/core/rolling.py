@@ -1,0 +1,177 @@
+"""Vectorized Rabin-Karp rolling fingerprints for large-n n-grams.
+
+The packed-key pipeline (:func:`repro.core.ngram.pack_ngrams`) concatenates the
+``code_bits``-wide character codes of a window into one integer, which caps the
+n-gram order at ``64 // code_bits`` (n = 12 for the 5-bit alphabet).  This
+module removes that cap with the trick of "Intermediate N-Gramming" and
+KiloGrams (PAPERS.md): a polynomial *rolling* hash over the code stream, where
+each position's fingerprint extends the previous one in O(1) no matter how
+large ``n`` is.
+
+The fingerprint of the window starting at position ``i`` is the degree-(n-1)
+polynomial in an odd 64-bit base ``B``, evaluated modulo ``2**64``::
+
+    h_i = c_i * B^(n-1) + c_{i+1} * B^(n-2) + ... + c_{i+n-1}
+
+Sliding the window one position is the classic add/remove/rotate step with the
+precomputed removal term ``B^(n-1)``::
+
+    h_{i+1} = (h_i - c_i * B^(n-1)) * B + c_{i+n}
+
+The scalar recurrence is O(doc) but runs one Python-level step per character.
+:func:`rolling_fingerprints` computes the *same* values with a handful of bulk
+NumPy passes over the whole document buffer and no per-character Python loop,
+by unrolling the recurrence into prefix sums.  Because ``B`` is odd it is
+invertible modulo ``2**64``, so with ``U_m = sum_{l < m} c_l * B^{-l}``::
+
+    h_i = B^(n-1+i) * (U_{i+n} - U_i)        (mod 2**64)
+
+which is one cumulative product (powers of ``B`` and ``B^{-1}``), one
+cumulative sum, one slice subtraction and one multiply — all exact wrapping
+``uint64`` arithmetic.
+
+Fingerprints are 64-bit keys drawn from the full ``2**64`` space, so they slot
+into every downstream structure unchanged: language profiles, the Parallel
+Bloom Filters (via a 64-bit-key hash family), exact ``searchsorted`` lookup
+and the segmentation scorer all operate on ``uint64`` arrays either way.  The
+price is a vanishing fingerprint-collision probability modelled by
+:func:`repro.core.fpr.fingerprint_collision_rate`; for n = 4 the map from
+packed 20-bit keys to fingerprints is injective (checked exhaustively in the
+test suite), which is what makes rolling-mode classification bit-identical to
+the packed kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ROLLING_BASE",
+    "ROLLING_BASE_INVERSE",
+    "FINGERPRINT_BITS",
+    "removal_term",
+    "fingerprint_window",
+    "rolling_fingerprints_reference",
+    "rolling_fingerprints",
+]
+
+#: width of a rolling fingerprint (the full machine word)
+FINGERPRINT_BITS = 64
+
+#: the odd 64-bit base of the fingerprint polynomial (2**64 / golden ratio,
+#: the weyl-sequence constant); odd so it is invertible modulo 2**64
+ROLLING_BASE = 0x9E3779B97F4A7C15
+
+#: multiplicative inverse of :data:`ROLLING_BASE` modulo 2**64
+ROLLING_BASE_INVERSE = pow(ROLLING_BASE, -1, 1 << 64)
+
+_MOD = 1 << 64
+
+
+def removal_term(n: int, base: int = ROLLING_BASE) -> int:
+    """The precomputed ``B^(n-1) mod 2**64`` that slides a window forward.
+
+    ``h_{i+1} = (h_i - c_i * removal_term(n)) * B + c_{i+n}``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return pow(base, n - 1, _MOD)
+
+
+def fingerprint_window(codes, base: int = ROLLING_BASE) -> int:
+    """From-scratch fingerprint of one window (Horner evaluation, mod 2**64).
+
+    Scalar reference used by the property tests: the rolling pipeline must
+    produce exactly this value for every window position.
+    """
+    value = 0
+    for code in np.asarray(codes).tolist():
+        value = (value * base + int(code)) % _MOD
+    return value
+
+
+def rolling_fingerprints_reference(
+    codes: np.ndarray, n: int, base: int = ROLLING_BASE
+) -> np.ndarray:
+    """Scalar add/remove/rotate recurrence — the O(1)-per-step rolling update.
+
+    Python-loop reference implementation of the recurrence the vectorized
+    kernel unrolls; used to cross-check :func:`rolling_fingerprints`.
+    """
+    codes = np.asarray(codes)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if codes.ndim != 1:
+        raise ValueError("codes must be a 1-D array")
+    if codes.size < n:
+        return np.empty(0, dtype=np.uint64)
+    remove = removal_term(n, base)
+    values = codes.tolist()
+    out = np.empty(codes.size - n + 1, dtype=np.uint64)
+    h = fingerprint_window(values[:n], base)
+    out[0] = h
+    for i in range(codes.size - n):
+        h = ((h - values[i] * remove) * base + values[i + n]) % _MOD
+        out[i + 1] = h
+    return out
+
+
+def rolling_fingerprints(codes: np.ndarray, n: int, base: int = ROLLING_BASE) -> np.ndarray:
+    """Fingerprints of every length-``n`` window of ``codes``, fully vectorized.
+
+    Parameters
+    ----------
+    codes:
+        1-D array of character codes (any integer dtype; byte-level streams
+        pass ``uint8`` buffers straight through).
+    n:
+        N-gram order — unbounded, unlike the packed pipeline.
+    base:
+        Odd polynomial base (the module default matches the scalar reference).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of length ``max(0, len(codes) - n + 1)`` with
+        ``out[i] == fingerprint_window(codes[i : i + n], base)``.
+
+    Notes
+    -----
+    Uses the prefix-sum form ``h_i = B^(n-1+i) * (U_{i+n} - U_i)`` with
+    ``U_m = sum_{l<m} c_l * B^(-l)``: two in-place cumulative products (powers
+    of ``B`` and of its modular inverse), one elementwise multiply, one
+    cumulative sum, a slice subtraction and a final multiply.  Everything is
+    wrapping ``uint64`` arithmetic, so the result is exact mod ``2**64``
+    however long the document is.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if base % 2 == 0:
+        raise ValueError("base must be odd so it is invertible modulo 2**64")
+    codes = np.asarray(codes)
+    if codes.ndim != 1:
+        raise ValueError("codes must be a 1-D array")
+    size = codes.size
+    count = size - n + 1
+    if count <= 0:
+        return np.empty(0, dtype=np.uint64)
+
+    with np.errstate(over="ignore"):
+        # powers[i] = B^i, inverse_powers[i] = B^-i  (both mod 2**64)
+        powers = np.full(size, np.uint64(base % _MOD), dtype=np.uint64)
+        powers[0] = np.uint64(1)
+        np.multiply.accumulate(powers, out=powers)
+        inverse_powers = np.full(
+            size, np.uint64(ROLLING_BASE_INVERSE if base == ROLLING_BASE else pow(base, -1, _MOD)),
+            dtype=np.uint64,
+        )
+        inverse_powers[0] = np.uint64(1)
+        np.multiply.accumulate(inverse_powers, out=inverse_powers)
+
+        # prefix[m] = U_m = sum_{l < m} c_l * B^-l
+        prefix = np.empty(size + 1, dtype=np.uint64)
+        prefix[0] = np.uint64(0)
+        np.cumsum(codes.astype(np.uint64) * inverse_powers, out=prefix[1:])
+
+        # h_i = B^(n-1+i) * (U_{i+n} - U_i)
+        return powers[n - 1 :] * (prefix[n:] - prefix[:count])

@@ -178,7 +178,9 @@ class StreamingTrainer:
         self.capacity = int(capacity)
         self.chunk_ngrams = int(chunk_ngrams)
         self.extractor = NGramExtractor(
-            n=config.n, subsample_stride=config.subsample_stride
+            n=config.n,
+            subsample_stride=config.subsample_stride,
+            mode=config.resolved_hash_mode,
         )
         self._accumulators: dict[str, TopKAccumulator] = {}
         self._buffers: dict[str, list[np.ndarray]] = {}

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.classifier import normalized_separation
+from repro.core.classifier import UNDETERMINED_LANGUAGE, normalized_separation
 from repro.segment.smoothing import hysteresis_labels, viterbi_labels
 from repro.segment.types import SegmentationResult, Span
 from repro.segment.windows import WindowedScorer
@@ -122,11 +122,11 @@ class Segmenter:
         packed = self.identifier.extractor.extract(text)
         scores = self.scorer.score(packed)
         if scores.n_windows == 0:
-            # Too short for a single n-gram: label the whole document the way
-            # classify labels it (argmax of all-zero counts = first language).
+            # Too short for a single n-gram: no evidence, so label the whole
+            # document "und" the way classify labels zero-n-gram documents.
             if text_length == 0:
                 return SegmentationResult(spans=[], text_length=0, ngram_count=0, window_count=0)
-            language = self.identifier.languages[0]
+            language = UNDETERMINED_LANGUAGE
             return SegmentationResult(
                 spans=[Span(0, text_length, language, 0.0)],
                 text_length=text_length,

@@ -64,12 +64,13 @@ class TestClassifierConfig:
         "kwargs",
         [
             {"n": 0},
-            {"n": 13},
+            {"n": 13, "hash_mode": "packed"},
             {"t": 0},
             {"m_bits": 3000},
             {"m_bits": 0},
             {"k": 0},
             {"hash_family": "md5"},
+            {"hash_mode": "crc32"},
             {"subsample_stride": 0},
             {"backend": ""},
         ],

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.classifier import BloomNGramClassifier, ClassificationResult, ExactNGramClassifier
+from repro.core.classifier import (
+    UNDETERMINED_LANGUAGE,
+    BloomNGramClassifier,
+    ClassificationResult,
+    ExactNGramClassifier,
+    undetermined_result,
+)
 from repro.core.ngram import ngrams_from_text
 
 
@@ -80,8 +86,28 @@ class TestClassification:
 
     def test_empty_document(self, trained):
         result = trained.classify_text("")
+        assert result.language == UNDETERMINED_LANGUAGE
         assert result.ngram_count == 0
         assert all(count == 0 for count in result.match_counts.values())
+
+    def test_document_shorter_than_n_is_undetermined(self, trained):
+        result = trained.classify_text("ab")
+        assert result.language == UNDETERMINED_LANGUAGE
+        assert result.ngram_count == 0
+
+    def test_undetermined_result_helper(self):
+        result = undetermined_result(["en", "fr"])
+        assert result.language == UNDETERMINED_LANGUAGE
+        assert result.match_counts == {"en": 0, "fr": 0}
+        assert result.scores == {"en": 0.0, "fr": 0.0}
+
+    def test_all_zero_counts_with_evidence_ties_to_first_language(self, trained):
+        # evidence exists (ngrams > 0) but nothing matches any profile: the
+        # documented priority-encoder rule picks the first trained language
+        packed = np.full(5, (1 << 20) - 1, dtype=np.uint64)
+        result = trained.classify_packed(packed)
+        assert result.ngram_count == 5
+        assert result.language == trained.languages[0]
 
     def test_classify_packed_matches_classify_text(self, trained, sample_document):
         text = sample_document.text

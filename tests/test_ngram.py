@@ -8,6 +8,7 @@ from repro.core.ngram import (
     DEFAULT_N,
     NGramExtractor,
     count_ngrams,
+    merge_ngram_counts,
     ngram_to_string,
     ngrams_from_text,
     pack_ngrams,
@@ -100,6 +101,31 @@ class TestNgramsFromText:
         without = ngrams_from_text("a  b  c  d")
         assert with_collapse.size < without.size
 
+    def test_converter_code_width_is_honoured(self):
+        """Regression: a converter with a non-default code width must pack at
+        that width, not silently at the 5-bit default."""
+
+        class ByteConverter(AlphabetConverter):
+            def __init__(self):
+                super().__init__()
+                self.code_bits = 8
+
+            def encode(self, text):
+                if isinstance(text, str):
+                    text = text.encode("latin-1")
+                return np.frombuffer(bytes(text), dtype=np.uint8)
+
+        converter = ByteConverter()
+        text = "Byte-Width"
+        packed = ngrams_from_text(text, n=3, converter=converter)
+        manual = pack_ngrams(converter.encode(text), n=3, code_bits=8)
+        assert np.array_equal(packed, manual)
+        # 8-bit packing must preserve case, which 5-bit packing folds away
+        assert not np.array_equal(
+            ngrams_from_text("AB CD EF", n=3, converter=converter),
+            ngrams_from_text("ab cd ef", n=3, converter=converter),
+        )
+
 
 class TestCounting:
     def test_count_empty(self):
@@ -141,6 +167,18 @@ class TestCounting:
         packed = np.asarray([1, 2], dtype=np.uint64)
         values, _ = top_ngrams(packed, 100)
         assert values.size == 2
+
+    def test_merge_stays_integer_above_float53(self):
+        """Regression: merging must accumulate in int64, not promote to
+        float64 — counts beyond 2**53 would silently lose low bits."""
+        huge = (1 << 53) + 1  # not representable in float64
+        values_a = np.asarray([5, 9], dtype=np.uint64)
+        counts_a = np.asarray([huge, 3], dtype=np.int64)
+        values_b = np.asarray([5, 7], dtype=np.uint64)
+        counts_b = np.asarray([1, 2], dtype=np.int64)
+        merged, counts = merge_ngram_counts(values_a, counts_a, values_b, counts_b)
+        assert counts.dtype == np.int64
+        assert dict(zip(merged.tolist(), counts.tolist())) == {5: huge + 1, 7: 2, 9: 3}
 
 
 class TestSubsample:

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.alphabet import ALPHABET_SIZE, SPACE_CODE, encode_text
 from repro.core.bloom import ParallelBloomFilter
 from repro.core.fpr import false_positive_rate
-from repro.core.ngram import pack_ngrams, top_ngrams, unpack_ngram
+from repro.core.ngram import merge_ngram_counts, pack_ngrams, top_ngrams, unpack_ngram
 from repro.core.profile import LanguageProfile
 from repro.hashes.h3 import H3Hash
 from repro.system.commands import document_to_words, xor_checksum
@@ -83,6 +83,40 @@ def test_top_ngrams_counts_sorted_and_bounded(values, t):
     assert np.unique(top_values).size == top_values.size
     assert all(counts[i] >= counts[i + 1] for i in range(counts.size - 1))
     assert counts.sum() <= packed.size
+
+
+count_tables = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=(1 << 53) + (1 << 20)),
+    ),
+    max_size=40,
+)
+
+
+@given(count_tables, count_tables)
+@settings(max_examples=60)
+def test_merge_ngram_counts_exact_at_huge_counts(table_a, table_b):
+    """Merging stays exact int64 arithmetic even for counts at and beyond
+    2**53, where a float64 detour would silently drop low-order bits."""
+
+    def as_arrays(table):
+        totals: dict[int, int] = {}
+        for value, count in table:
+            totals[value] = totals.get(value, 0) + count
+        values = np.asarray(sorted(totals), dtype=np.uint64)
+        counts = np.asarray([totals[int(v)] for v in values], dtype=np.int64)
+        return values, counts, totals
+
+    values_a, counts_a, totals_a = as_arrays(table_a)
+    values_b, counts_b, totals_b = as_arrays(table_b)
+    merged, counts = merge_ngram_counts(values_a, counts_a, values_b, counts_b)
+    expected = {
+        value: totals_a.get(value, 0) + totals_b.get(value, 0)
+        for value in set(totals_a) | set(totals_b)
+    }
+    assert counts.dtype == np.int64
+    assert dict(zip(merged.tolist(), counts.tolist())) == expected
 
 
 # -- H3 hashing --------------------------------------------------------------------

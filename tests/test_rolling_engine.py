@@ -1,0 +1,392 @@
+"""Rolling-fingerprint engine: kernel properties, mode plumbing, differentials.
+
+Three layers of guarantees:
+
+* **Kernel correctness** — the vectorized prefix-sum kernel must equal the
+  scalar O(1)-per-step recurrence and the from-scratch Horner evaluation of
+  every window, on arbitrary byte streams and n-gram orders (hypothesis).
+* **Bit-identity at n = 4** — the fingerprint map over the whole 4-gram key
+  space is injective (checked exhaustively), so the exact backend must return
+  *bit-identical* match counts in rolling and packed mode, and the bloom
+  backend must agree at the label level on a seeded 1000-document stream.
+* **Large n end-to-end** — n = 64 training, classification and segmentation
+  work on the bloom backend, the regime the packed kernel cannot reach.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ClassifierConfig, LanguageIdentifier
+from repro.core.alphabet import ALPHABET_SIZE, encode_text
+from repro.core.classifier import UNDETERMINED_LANGUAGE
+from repro.core.fpr import (
+    false_positive_rate,
+    fingerprint_collision_rate,
+    rolling_false_positive_rate,
+)
+from repro.core.ngram import EXTRACTION_MODES, NGramExtractor, count_ngrams
+from repro.core.rolling import (
+    FINGERPRINT_BITS,
+    ROLLING_BASE,
+    ROLLING_BASE_INVERSE,
+    fingerprint_window,
+    removal_term,
+    rolling_fingerprints,
+    rolling_fingerprints_reference,
+)
+from repro.corpus.corpus import build_jrc_acquis_like
+
+LANGUAGES = ["en", "fr", "es", "pt", "cs"]
+SEED = 113
+N_DIFFERENTIAL_DOCS = 1000
+
+byte_streams = st.lists(st.integers(min_value=0, max_value=255), max_size=300)
+
+
+# ------------------------------------------------------------------- kernel
+
+
+class TestRollingKernel:
+    def test_base_is_invertible(self):
+        assert (ROLLING_BASE * ROLLING_BASE_INVERSE) % (1 << 64) == 1
+
+    def test_removal_term(self):
+        assert removal_term(1) == 1
+        assert removal_term(3) == (ROLLING_BASE * ROLLING_BASE) % (1 << 64)
+        with pytest.raises(ValueError):
+            removal_term(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(codes=byte_streams, n=st.sampled_from([2, 4, 8, 64]))
+    def test_vectorized_equals_from_scratch_per_window(self, codes, n):
+        """Every position's fingerprint equals hashing that window from scratch."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        out = rolling_fingerprints(codes, n=n)
+        expected = [
+            fingerprint_window(codes[i : i + n]) for i in range(max(0, codes.size - n + 1))
+        ]
+        assert out.dtype == np.uint64
+        assert out.tolist() == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(codes=byte_streams, n=st.sampled_from([1, 2, 4, 8, 64]))
+    def test_vectorized_equals_scalar_recurrence(self, codes, n):
+        codes = np.asarray(codes, dtype=np.uint8)
+        assert np.array_equal(
+            rolling_fingerprints(codes, n=n), rolling_fingerprints_reference(codes, n=n)
+        )
+
+    def test_long_document_stays_exact(self):
+        """Wrapping uint64 arithmetic does not drift over long buffers."""
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 256, size=20_000, dtype=np.uint8)
+        vectorized = rolling_fingerprints(codes, n=64)
+        reference = rolling_fingerprints_reference(codes, n=64)
+        assert np.array_equal(vectorized, reference)
+
+    def test_short_and_empty_inputs(self):
+        assert rolling_fingerprints(np.empty(0, dtype=np.uint8), n=4).size == 0
+        assert rolling_fingerprints(np.array([1, 2, 3], dtype=np.uint8), n=4).size == 0
+        assert rolling_fingerprints(np.array([1, 2, 3, 4], dtype=np.uint8), n=4).size == 1
+
+    def test_validation(self):
+        codes = np.array([1, 2, 3], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            rolling_fingerprints(codes, n=0)
+        with pytest.raises(ValueError):
+            rolling_fingerprints(codes, n=2, base=2)  # even base not invertible
+        with pytest.raises(ValueError):
+            rolling_fingerprints(codes.reshape(1, 3), n=2)
+
+    def test_alternative_odd_base(self):
+        codes = np.arange(40, dtype=np.uint8)
+        base = 1_000_003
+        assert np.array_equal(
+            rolling_fingerprints(codes, n=8, base=base),
+            rolling_fingerprints_reference(codes, n=8, base=base),
+        )
+
+    def test_fingerprints_injective_over_4gram_space(self):
+        """Every one of the 27^4 packed 4-gram keys maps to a distinct
+        fingerprint — the property that makes rolling n=4 classification
+        bit-identical to the packed kernel."""
+        grids = np.meshgrid(*([np.arange(ALPHABET_SIZE, dtype=np.uint64)] * 4), indexing="ij")
+        combos = np.stack([g.ravel() for g in grids], axis=1)
+        base = np.uint64(ROLLING_BASE)
+        with np.errstate(over="ignore"):
+            values = combos[:, 0]
+            for column in range(1, 4):
+                values = values * base + combos[:, column]
+        assert np.unique(values).size == ALPHABET_SIZE**4
+
+
+# ------------------------------------------------------------------- extractor
+
+
+class TestExtractorModes:
+    def test_modes_constant(self):
+        assert EXTRACTION_MODES == ("packed", "rolling")
+
+    def test_rolling_extract_matches_kernel(self):
+        text = "the quick brown fox jumps over the lazy dog"
+        extractor = NGramExtractor(n=16, mode="rolling")
+        assert extractor.key_bits == FINGERPRINT_BITS
+        assert np.array_equal(
+            extractor.extract(text), rolling_fingerprints(encode_text(text), n=16)
+        )
+
+    def test_packed_mode_rejects_large_n(self):
+        with pytest.raises(ValueError, match="rolling"):
+            NGramExtractor(n=13, mode="packed")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown extraction mode"):
+            NGramExtractor(n=4, mode="crc")
+
+    def test_rolling_honours_subsample_stride(self):
+        text = "subsampled rolling fingerprint stream for stride checks"
+        full = NGramExtractor(n=8, mode="rolling").extract(text)
+        strided = NGramExtractor(n=8, mode="rolling", subsample_stride=2).extract(text)
+        assert np.array_equal(strided, full[::2])
+
+
+# ------------------------------------------------------------------- config
+
+
+class TestHashModeConfig:
+    def test_auto_resolution(self):
+        assert ClassifierConfig(n=4).resolved_hash_mode == "packed"
+        assert ClassifierConfig(n=12).resolved_hash_mode == "packed"
+        assert ClassifierConfig(n=13).resolved_hash_mode == "rolling"
+        assert ClassifierConfig(n=64).resolved_hash_mode == "rolling"
+
+    def test_key_bits_follow_mode(self):
+        assert ClassifierConfig(n=4).key_bits == 20
+        assert ClassifierConfig(n=4, hash_mode="rolling").key_bits == FINGERPRINT_BITS
+        assert ClassifierConfig(n=64).key_bits == FINGERPRINT_BITS
+
+    def test_packed_mode_rejects_large_n(self):
+        with pytest.raises(ValueError, match="rolling"):
+            ClassifierConfig(n=13, hash_mode="packed")
+
+    def test_dict_roundtrip_preserves_mode(self):
+        config = ClassifierConfig(n=24, t=900, hash_mode="rolling")
+        assert ClassifierConfig.from_dict(config.to_dict()) == config
+
+    def test_hw_sim_rejects_rolling(self):
+        with pytest.raises(ValueError, match="packed"):
+            LanguageIdentifier(ClassifierConfig(n=24, backend="hw-sim"))
+
+
+# ------------------------------------------------------------------- differential
+
+
+def _seeded_documents(count: int, seed: int) -> list[str]:
+    """Same deterministic document mix as the backend conformance suite."""
+    corpus = build_jrc_acquis_like(
+        LANGUAGES, docs_per_language=12, words_per_document=180, seed=seed
+    )
+    texts = [doc.text for doc in corpus.shuffled(seed=seed).documents]
+    rng = np.random.default_rng(seed)
+    alphabet = np.array(list("abcdefghijklmnopqrstuvwxyz áéíóúàèç"), dtype="<U1")
+    documents: list[str] = []
+    for index in range(count):
+        kind = index % 5
+        base = texts[int(rng.integers(len(texts)))]
+        if kind == 0:
+            offset = int(rng.integers(max(1, len(base) - 400)))
+            documents.append(base[offset : offset + 400])
+        elif kind == 1:
+            other = texts[int(rng.integers(len(texts)))]
+            documents.append(base[:180] + " " + other[:180])
+        elif kind == 2:
+            length = int(rng.integers(20, 300))
+            documents.append("".join(rng.choice(alphabet, size=length)))
+        elif kind == 3:
+            documents.append(base[: int(rng.integers(0, 6))])
+        else:
+            documents.append(texts[0][:120] + str(int(rng.integers(1000))))
+    return documents
+
+
+@pytest.fixture(scope="module")
+def train_corpus():
+    return build_jrc_acquis_like(
+        LANGUAGES, docs_per_language=10, words_per_document=220, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return _seeded_documents(N_DIFFERENTIAL_DOCS, SEED)
+
+
+class TestPackedRollingDifferential:
+    """Rolling n=4 must agree with the packed kernel on real document streams."""
+
+    @pytest.fixture(scope="class")
+    def exact_pair(self, train_corpus):
+        # t large enough to hold every distinct 4-gram of the training set, so
+        # both modes publish the same *set* of n-grams (top-t tie-breaking
+        # orders packed keys and fingerprints differently at a cut-off).
+        config = ClassifierConfig(t=60_000, backend="exact", hash_mode="packed")
+        packed = LanguageIdentifier(config).train(train_corpus)
+        rolling = LanguageIdentifier(config.replace(hash_mode="rolling")).train(train_corpus)
+        for profile in packed.profiles.values():
+            assert profile.ngrams.size < config.t  # nothing was cut off
+        return packed, rolling
+
+    def test_exact_backend_bit_identical(self, exact_pair, documents):
+        packed, rolling = exact_pair
+        packed_counts = np.stack([packed.match_counts(doc) for doc in documents])
+        rolling_counts = np.stack([rolling.match_counts(doc) for doc in documents])
+        assert np.array_equal(packed_counts, rolling_counts)
+
+    def test_exact_backend_batch_bit_identical(self, exact_pair, documents):
+        packed, rolling = exact_pair
+        subset = documents[:200]
+        packed_results = packed.classify_batch(subset)
+        rolling_results = rolling.classify_batch(subset)
+        for left, right in zip(packed_results, rolling_results):
+            assert left.language == right.language
+            assert left.match_counts == right.match_counts
+
+    def test_bloom_backend_labels_agree(self, train_corpus, documents):
+        """Bloom-mode labels agree wherever there is real linguistic evidence.
+
+        The two modes hash different key streams (20-bit packed keys vs 64-bit
+        fingerprints), so their false-positive *patterns* differ; on documents
+        whose true (exact-membership) margin is zero or near-zero the label is
+        an FPR lottery either way.  The differential guarantee is therefore:
+        identical labels on every document with a solid true margin, and a
+        high agreement floor over the full seeded stream.
+        """
+        config = ClassifierConfig(t=1500, m_bits=8 * 1024, k=4, seed=3, backend="bloom")
+        packed = LanguageIdentifier(config).train(train_corpus)
+        rolling = LanguageIdentifier(config.replace(hash_mode="rolling")).train(train_corpus)
+        exact = LanguageIdentifier(config.replace(backend="exact"))
+        exact.train_profiles(packed.profiles)
+
+        packed_labels = [r.language for r in packed.classify_batch(documents)]
+        rolling_labels = [r.language for r in rolling.classify_batch(documents)]
+        margins = []
+        for result in exact.classify_batch(documents):
+            counts = sorted(result.match_counts.values(), reverse=True)
+            margins.append(counts[0] - counts[1] if len(counts) > 1 else counts[0])
+
+        evidenced = [index for index, margin in enumerate(margins) if margin >= 10]
+        assert len(evidenced) >= 400  # the stream is mostly real text
+        assert all(packed_labels[index] == rolling_labels[index] for index in evidenced)
+        agreement = np.mean(
+            [left == right for left, right in zip(packed_labels, rolling_labels)]
+        )
+        assert agreement >= 0.85
+
+
+# ------------------------------------------------------------------- large n
+
+
+class TestLargeNEndToEnd:
+    @pytest.fixture(scope="class")
+    def identifier64(self, train_corpus):
+        config = ClassifierConfig(n=64, t=20_000, m_bits=64 * 1024, k=4, backend="bloom")
+        return LanguageIdentifier(config).train(train_corpus)
+
+    def test_train_and_classify(self, identifier64, train_corpus):
+        # 64-gram profiles are near-unique per document, so self-recognition
+        # is the meaningful end-to-end check on a synthetic corpus.
+        documents = [doc for doc in train_corpus.documents]
+        results = identifier64.classify_batch([doc.text for doc in documents])
+        accuracy = np.mean(
+            [result.language == doc.language for result, doc in zip(results, documents)]
+        )
+        assert accuracy == 1.0
+
+    def test_segment(self, identifier64, train_corpus):
+        text = train_corpus.documents[0].text
+        result = identifier64.segment(text)
+        assert result.spans
+        assert result.spans[0].start == 0
+        assert result.spans[-1].end == len(text)
+
+    def test_distinct_64grams(self, train_corpus):
+        """At n=64 the extractor produces (mostly) unique fingerprints — the
+        regime where packed keys are impossible and collisions stay negligible."""
+        extractor = NGramExtractor(n=64, mode="rolling")
+        packed = extractor.extract(train_corpus.documents[0].text)
+        values, counts = count_ngrams(packed)
+        assert packed.size > 0
+        assert values.size / packed.size > 0.9
+
+    def test_model_persistence_roundtrip(self, identifier64, train_corpus, tmp_path):
+        path = identifier64.save(tmp_path / "model64.npz")
+        restored = LanguageIdentifier.load(path)
+        assert restored.config.resolved_hash_mode == "rolling"
+        text = train_corpus.documents[3].text
+        assert restored.classify(text).language == identifier64.classify(text).language
+
+
+# ------------------------------------------------------------------- und results
+
+
+class TestUndeterminedResults:
+    @pytest.fixture(scope="class")
+    def identifier(self, train_corpus):
+        return LanguageIdentifier(ClassifierConfig(t=1500)).train(train_corpus)
+
+    def test_empty_document(self, identifier):
+        result = identifier.classify("")
+        assert result.language == UNDETERMINED_LANGUAGE
+        assert result.ngram_count == 0
+        assert all(count == 0 for count in result.match_counts.values())
+
+    def test_document_shorter_than_n(self, identifier):
+        result = identifier.classify("ab")
+        assert result.language == UNDETERMINED_LANGUAGE
+
+    def test_batch_mixes_und_and_real_labels(self, identifier, train_corpus):
+        results = identifier.classify_batch(["", train_corpus.documents[0].text, "xy"])
+        assert results[0].language == UNDETERMINED_LANGUAGE
+        assert results[1].language in identifier.languages
+        assert results[2].language == UNDETERMINED_LANGUAGE
+
+    def test_segment_short_document(self, identifier):
+        result = identifier.segment("ab")
+        assert len(result.spans) == 1
+        assert result.spans[0].language == UNDETERMINED_LANGUAGE
+        assert result.spans[0].confidence == 0.0
+
+
+# ------------------------------------------------------------------- fpr model
+
+
+class TestRollingFprModel:
+    def test_collision_rate_is_tiny_at_64_bits(self):
+        rate = fingerprint_collision_rate(5000)
+        assert 0 < rate < 1e-15
+        assert rate == pytest.approx(5000 * 2.0**-64, rel=1e-6)
+
+    def test_collision_rate_monotone_in_items(self):
+        rates = [fingerprint_collision_rate(n) for n in (0, 10, 10_000, 10_000_000)]
+        assert rates[0] == 0.0
+        assert rates == sorted(rates)
+
+    def test_collision_rate_narrow_fingerprints(self):
+        # with 8-bit fingerprints and 256 items a collision is near-certain
+        assert fingerprint_collision_rate(256, fingerprint_bits=8) == pytest.approx(
+            1.0 - (1.0 - 2.0**-8) ** 256
+        )
+
+    def test_rolling_fpr_dominated_by_bloom_term(self):
+        bloom = false_positive_rate(5000, 16 * 1024, 4)
+        combined = rolling_false_positive_rate(5000, 16 * 1024, 4)
+        assert combined >= bloom
+        assert combined == pytest.approx(bloom, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fingerprint_collision_rate(-1)
+        with pytest.raises(ValueError):
+            fingerprint_collision_rate(10, fingerprint_bits=0)

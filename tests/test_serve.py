@@ -12,7 +12,7 @@ import asyncio
 import pytest
 
 from repro.api import ClassifierConfig, LanguageIdentifier
-from repro.core.classifier import ClassificationResult
+from repro.core.classifier import UNDETERMINED_LANGUAGE, ClassificationResult
 from repro.corpus.corpus import build_jrc_acquis_like
 from repro.serve import (
     ClassificationService,
@@ -502,7 +502,7 @@ class TestClassificationService:
             async with ClassificationService(identifier) as service:
                 result = await service.classify("")
                 assert result.ngram_count == 0
-                assert result.language in identifier.languages
+                assert result.language == UNDETERMINED_LANGUAGE
                 assert all(count == 0 for count in result.match_counts.values())
 
         run(scenario())

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Analytics demo: per-source traffic stats and a drift alarm that actually trips.
+
+The analytics plane (:mod:`repro.analytics`) watches *content*, not latency:
+which languages each source sends, how confident the classifier is about
+them, and whether today's window still looks like the baseline.  This demo
+streams two synthetic multi-source days through one trained classifier:
+
+1. a **clean** stream — every source keeps its language mix all day, and the
+   drift monitor stays quiet;
+2. a **shifted** stream — identical, except the ``wire`` source flips from
+   mostly-English to mostly-Spanish mid-stream (an upstream routing bug, a
+   new syndication partner, a silent encoding change: pick your incident),
+   and the Jensen–Shannon language-mix monitor raises the alarm.
+
+Both streams end with the per-source report ``repro analyze`` would print
+and the drift verdict ``GET /stats`` would serve.
+
+Run with:  python examples/analytics_demo.py
+"""
+
+import random
+
+from repro import ClassifierConfig, LanguageIdentifier, build_jrc_acquis_like
+from repro.analytics import AnalyticsAggregator, AnalyticsConfig, render_report
+
+#: documents per simulated stream
+N_DOCS = 900
+DOC_CHARS = 200
+
+#: per-source language mixes (fractions) for the baseline period
+SOURCE_MIXES = {
+    "wire": {"en": 0.8, "fr": 0.2},
+    "blog": {"fr": 0.6, "es": 0.4},
+    "mail": {"en": 0.5, "es": 0.5},
+}
+
+#: mid-stream the wire source flips to mostly Spanish (the injected incident)
+SHIFTED_WIRE_MIX = {"es": 0.8, "en": 0.2}
+
+
+def train_identifier():
+    corpus = build_jrc_acquis_like(
+        languages=["en", "fr", "es"],
+        docs_per_language=30,
+        words_per_document=250,
+        seed=11,
+    )
+    train, test = corpus.split(train_fraction=0.3, seed=11)
+    identifier = LanguageIdentifier(ClassifierConfig(seed=1)).train(train)
+    by_language = {}
+    for document in test.documents:
+        by_language.setdefault(document.language, []).append(document.text)
+    return identifier, by_language
+
+
+def pick_language(mix: dict, rng: random.Random) -> str:
+    roll, acc = rng.random(), 0.0
+    for language, fraction in mix.items():
+        acc += fraction
+        if roll < acc:
+            return language
+    return language  # float round-off lands on the last label
+
+
+def stream(identifier, by_language, *, shift: bool) -> AnalyticsAggregator:
+    """One simulated day: documents arrive round-robin across the sources.
+
+    Timestamps are document indices, so ``window_seconds=150`` means
+    150-document windows — six windows over the stream, with the shift (when
+    injected) landing at the halfway boundary.
+    """
+    config = AnalyticsConfig(
+        window_seconds=150.0,
+        max_windows=8,
+        drift_metric="js",
+        drift_threshold=0.1,
+        min_window_docs=10,
+    )
+    aggregator = AnalyticsAggregator(config)
+    rng = random.Random(23)
+    sources = sorted(SOURCE_MIXES)
+    for index in range(N_DOCS):
+        source = sources[index % len(sources)]
+        mix = SOURCE_MIXES[source]
+        if shift and source == "wire" and index >= N_DOCS // 2:
+            mix = SHIFTED_WIRE_MIX
+        language = pick_language(mix, rng)
+        text = rng.choice(by_language[language])
+        offset = rng.randrange(max(1, len(text) - DOC_CHARS))
+        result = identifier.classify(text[offset : offset + DOC_CHARS])
+        # scan every 8th document for the quality metrics, like the serving
+        # hook's default posture
+        if index % 8 == 0:
+            aggregator.update(result, source, timestamp=float(index), text=text)
+        else:
+            aggregator.update(
+                result, source, timestamp=float(index), chars=DOC_CHARS
+            )
+    return aggregator
+
+
+def describe(title: str, aggregator: AnalyticsAggregator) -> bool:
+    snapshot = aggregator.snapshot()
+    drift = snapshot["drift"]
+    print(f"\n=== {title} ===\n")
+    print(render_report(snapshot))
+    alarm = drift["alarm"]
+    print(f"\ndrift alarm: {'RAISED' if alarm else 'quiet'}")
+    for source, verdict in drift.get("sources", {}).items():
+        marker = "ALARM" if verdict["alarm"] else "  ok "
+        print(
+            f"  [{marker}] {source:>5}: mix drift {verdict['score']:.3f} "
+            f"(threshold {aggregator.config.drift_threshold}), "
+            f"confidence delta {verdict['mean_confidence_delta']:+.3f}"
+        )
+    return alarm
+
+
+def main() -> None:
+    identifier, by_language = train_identifier()
+
+    clean_alarm = describe(
+        "clean stream (stable mixes, no alarm expected)",
+        stream(identifier, by_language, shift=False),
+    )
+    shifted_alarm = describe(
+        "shifted stream (wire flips en->es mid-stream)",
+        stream(identifier, by_language, shift=True),
+    )
+
+    print(
+        f"\nclean stream alarm: {clean_alarm}  |  "
+        f"shifted stream alarm: {shifted_alarm}"
+    )
+    if shifted_alarm and not clean_alarm:
+        print(
+            "the monitor caught the injected mix shift and only the mix shift "
+            "- exactly what GET /stats and `repro analyze --fail-on-drift` "
+            "watch for in production"
+        )
+
+
+if __name__ == "__main__":
+    main()

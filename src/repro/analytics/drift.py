@@ -1,0 +1,135 @@
+"""Distribution-drift metrics over language mixes.
+
+Two standard measures of "has the traffic changed", both computed over the
+categorical language distribution of a window versus a baseline window:
+
+:func:`jensen_shannon_divergence`
+    Symmetric, bounded in ``[0, 1]`` (log base 2), defined even when the two
+    distributions have disjoint support — the default drift metric.
+:func:`population_stability_index`
+    The industry PSI (sum of ``(p - q) * ln(p / q)``); unbounded, with the
+    conventional reading that ``>= 0.2`` marks a significant shift.  Disjoint
+    support is handled with epsilon smoothing.
+
+Mean-confidence drift — a cheap proxy for model degradation (the model is
+less sure about the same feed) — is a plain absolute delta and needs no
+machinery here.
+
+:func:`compare_windows` packages both into one per-source verdict dict used
+by the aggregator's drift report and the serving ``/stats`` plane.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DRIFT_METRICS",
+    "jensen_shannon_divergence",
+    "population_stability_index",
+    "compare_windows",
+]
+
+#: supported metric names for AnalyticsConfig.drift_metric
+DRIFT_METRICS = ("js", "psi")
+
+#: smoothing mass assigned to categories absent from one side (PSI only;
+#: Jensen–Shannon is finite on disjoint support by construction)
+_PSI_EPSILON = 1e-6
+
+
+def _normalise(distribution: dict[str, float], support) -> dict[str, float]:
+    total = sum(distribution.get(key, 0.0) for key in support)
+    if total <= 0.0:
+        return {key: 0.0 for key in support}
+    return {key: distribution.get(key, 0.0) / total for key in support}
+
+
+def jensen_shannon_divergence(
+    p: dict[str, float], q: dict[str, float]
+) -> float:
+    """JS divergence between two categorical distributions, base 2, in [0, 1].
+
+    Inputs are ``category -> weight`` mappings (not necessarily normalised);
+    the union of keys is the support.  Returns 0.0 when either side is empty
+    (no evidence is not drift).
+    """
+    support = sorted(set(p) | set(q))
+    if not support or not p or not q:
+        return 0.0
+    p_norm = _normalise(p, support)
+    q_norm = _normalise(q, support)
+    divergence = 0.0
+    for key in support:
+        p_i, q_i = p_norm[key], q_norm[key]
+        m_i = 0.5 * (p_i + q_i)
+        if p_i > 0.0:
+            divergence += 0.5 * p_i * math.log2(p_i / m_i)
+        if q_i > 0.0:
+            divergence += 0.5 * q_i * math.log2(q_i / m_i)
+    # clamp the tiny negative residue float error can leave near zero
+    return min(max(divergence, 0.0), 1.0)
+
+
+def population_stability_index(
+    p: dict[str, float], q: dict[str, float]
+) -> float:
+    """PSI of current ``p`` against baseline ``q`` (symmetric by formula).
+
+    Categories missing from one side get :data:`_PSI_EPSILON` mass before
+    renormalisation, the standard dodge for PSI's log singularity.
+    Returns 0.0 when either side is empty.
+    """
+    support = sorted(set(p) | set(q))
+    if not support or not p or not q:
+        return 0.0
+    p_norm = _normalise(p, support)
+    q_norm = _normalise(q, support)
+    psi = 0.0
+    for key in support:
+        p_i = max(p_norm[key], _PSI_EPSILON)
+        q_i = max(q_norm[key], _PSI_EPSILON)
+        psi += (p_i - q_i) * math.log(p_i / q_i)
+    return psi
+
+
+def compare_windows(
+    current,
+    baseline,
+    *,
+    metric: str = "js",
+    drift_threshold: float = 0.1,
+    confidence_drift_threshold: float = 0.1,
+    min_window_docs: int = 1,
+) -> dict:
+    """One source's drift verdict: current window stats vs baseline window stats.
+
+    ``current`` and ``baseline`` are :class:`~repro.analytics.stats.SourceStats`
+    (or anything exposing ``language_mix`` / ``mean_confidence`` /
+    ``docs_total``).  Windows below ``min_window_docs`` on either side never
+    alarm — a three-document window is noise, not a shift.
+    """
+    if metric not in DRIFT_METRICS:
+        raise ValueError(f"unknown drift metric {metric!r}; choose from {list(DRIFT_METRICS)}")
+    measure = (
+        jensen_shannon_divergence if metric == "js" else population_stability_index
+    )
+    score = measure(current.language_mix, baseline.language_mix)
+    confidence_delta = current.mean_confidence - baseline.mean_confidence
+    populated = (
+        current.docs_total >= min_window_docs and baseline.docs_total >= min_window_docs
+    )
+    mix_alarm = populated and score > drift_threshold
+    confidence_alarm = populated and abs(confidence_delta) > confidence_drift_threshold
+    return {
+        "metric": metric,
+        "score": score,
+        "threshold": drift_threshold,
+        "mix_alarm": mix_alarm,
+        "mean_confidence_delta": confidence_delta,
+        "confidence_threshold": confidence_drift_threshold,
+        "confidence_alarm": confidence_alarm,
+        "alarm": mix_alarm or confidence_alarm,
+        "current_docs": current.docs_total,
+        "baseline_docs": baseline.docs_total,
+    }

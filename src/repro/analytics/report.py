@@ -1,0 +1,89 @@
+"""Human-readable rendering and artifacts for corpus analytics.
+
+The ``repro analyze`` CLI and the examples consume an
+:class:`~repro.analytics.aggregator.AnalyticsAggregator` snapshot and need
+two presentations of it: an operator-facing ASCII report (per-source table +
+drift verdicts, via the shared :func:`~repro.analysis.reporting.format_table`)
+and the machine-facing **priors artifact** — the per-source language
+distributions the planned ensemble backend will consume as vote priors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.reporting import format_percentage, format_table
+
+__all__ = ["render_report", "write_priors"]
+
+
+def _top_languages(mix: dict[str, float], top: int) -> str:
+    ranked = sorted(mix.items(), key=lambda item: (-item[1], item[0]))[:top]
+    return ", ".join(f"{lang}={format_percentage(frac, 1)}" for lang, frac in ranked)
+
+
+def render_report(snapshot: dict, top_languages: int = 3) -> str:
+    """Render one aggregator snapshot as the operator report."""
+    lines = []
+    rows = []
+    for source, stats in snapshot["sources"].items():
+        rows.append(
+            (
+                source,
+                stats["docs"],
+                _top_languages(stats["language_mix"], top_languages),
+                f"{stats['mean_confidence']:.3f}",
+                format_percentage(stats["und_rate"], 1),
+                f"{stats['doc_length']['mean']:.0f}",
+                format_percentage(stats["quality"]["alphabetical_rate"], 1),
+            )
+        )
+    lines.append(
+        format_table(
+            ("source", "docs", "top languages", "mean conf", "und", "mean len", "alpha"),
+            rows,
+            title=f"Per-source corpus statistics ({snapshot['docs_total']} documents)",
+        )
+    )
+    drift = snapshot["drift"]
+    lines.append("")
+    if drift["status"] != "ok":
+        lines.append(
+            f"drift: {drift['status']} "
+            f"({drift.get('windows', 0)} window(s) retained; need 2+)"
+        )
+        return "\n".join(lines)
+    overall = drift["overall"]
+    lines.append(
+        f"drift ({overall['metric']}, window {drift['baseline_bucket']} -> "
+        f"{drift['current_bucket']}): overall score {overall['score']:.4f} "
+        f"(threshold {overall['threshold']:g}) — "
+        + ("ALARM" if drift["alarm"] else "ok")
+    )
+    drift_rows = [
+        (
+            source,
+            f"{verdict['score']:.4f}",
+            f"{verdict['mean_confidence_delta']:+.3f}",
+            verdict["current_docs"],
+            "ALARM" if verdict["alarm"] else "ok",
+        )
+        for source, verdict in drift["sources"].items()
+    ]
+    lines.append(
+        format_table(
+            ("source", "mix drift", "conf delta", "window docs", "status"),
+            drift_rows,
+            title="Per-source drift vs baseline window",
+        )
+    )
+    return "\n".join(lines)
+
+
+def write_priors(priors: dict, path: str | Path) -> Path:
+    """Write the per-source language-priors artifact (JSON) and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(priors, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -15,6 +15,13 @@ Subcommands
     Label single-language *spans* inside mixed-language files using the
     windowed Bloom scorer (:mod:`repro.segment`); ``--json`` emits one JSON
     object per file instead of the human-readable span listing.
+``analyze``
+    Stream a corpus (JSONL files and/or source directories) through a saved
+    model and report per-source language mix, confidence/quality summaries and
+    window-over-window drift (:mod:`repro.analytics`); ``--priors`` writes the
+    per-source language-priors artifact, ``--shards`` folds the stream through
+    N mergeable partial aggregators (bit-identical to a single pass), and
+    ``--fail-on-drift`` turns a drift alarm into a non-zero exit.
 ``evaluate``
     Robustness evaluation matrix on a synthetic corpus: sweeps backend × noise
     scenario × document length through :mod:`repro.eval`, printing the accuracy
@@ -47,6 +54,7 @@ from pathlib import Path
 
 from repro.analysis.reporting import format_percentage, format_table
 from repro.analysis.sweep import PAPER_TABLE1_GRID, sweep_bloom_parameters
+from repro.analytics import DRIFT_METRICS
 from repro.api import ClassifierConfig, LanguageIdentifier, available_backends
 from repro.api.config import (
     DEFAULT_STREAM_BATCH_SIZE,
@@ -274,6 +282,124 @@ def _cmd_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from collections import deque
+
+    from repro.analytics import (
+        AnalyticsAggregator,
+        AnalyticsConfig,
+        render_report,
+        write_priors,
+    )
+
+    identifier = LanguageIdentifier.load(Path(args.model), backend=args.backend)
+    config = AnalyticsConfig(
+        window_seconds=args.window,
+        max_windows=args.max_windows,
+        drift_metric=args.drift_metric,
+        drift_threshold=args.drift_threshold,
+        confidence_drift_threshold=args.confidence_drift_threshold,
+        min_window_docs=args.min_window_docs,
+    )
+    # One aggregator per shard; documents round-robin across them and the
+    # partials merge at the end — by construction bit-identical to --shards 1
+    # (the merge algebra is exact, see repro.analytics).
+    shards = [AnalyticsAggregator(config) for _ in range(args.shards)]
+
+    # Results come back in submission order, so per-document metadata rides a
+    # queue parallel to the lazy text stream (same pattern as 'classify'); the
+    # text is kept so the aggregator can scan it for quality metrics.
+    meta: deque[tuple[str, float | None, str]] = deque()
+
+    def jsonl_records(path: Path):
+        with path.open(encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SystemExit(f"error: {path}:{number}: invalid JSON: {exc}") from None
+                text = record.get(args.text_field)
+                if not isinstance(text, str):
+                    raise SystemExit(
+                        f"error: {path}:{number}: field {args.text_field!r} "
+                        "missing or not a string"
+                    )
+                source = record.get(args.source_field)
+                source = source if isinstance(source, str) and source else path.stem
+                timestamp = None
+                if args.timestamp_field is not None:
+                    raw = record.get(args.timestamp_field)
+                    if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+                        raise SystemExit(
+                            f"error: {path}:{number}: field "
+                            f"{args.timestamp_field!r} missing or not numeric"
+                        )
+                    timestamp = float(raw)
+                yield text, source, timestamp
+
+    def documents():
+        for spec in args.inputs:
+            path = Path(spec)
+            if path.is_dir():
+                # generate-corpus layout: one subdirectory per source
+                for sub in sorted(p for p in path.iterdir() if p.is_dir()):
+                    for file in sorted(sub.glob("*.txt")):
+                        text = file.read_text(encoding="latin-1")
+                        meta.append((sub.name, None, text))
+                        yield text
+                for file in sorted(path.glob("*.txt")):
+                    text = file.read_text(encoding="latin-1")
+                    meta.append((path.name, None, text))
+                    yield text
+            else:
+                for text, source, timestamp in jsonl_records(path):
+                    meta.append((source, timestamp, text))
+                    yield text
+
+    started = time.perf_counter()
+    index = 0
+    for result in identifier.classify_stream(documents(), batch_size=args.batch_size):
+        source, timestamp, text = meta.popleft()
+        if timestamp is None:
+            # no wall clock in the stream: the document index is the monotone
+            # axis, making --window "documents per window"
+            timestamp = float(index)
+        shards[index % args.shards].update(result, source, timestamp=timestamp, text=text)
+        index += 1
+    elapsed = time.perf_counter() - started
+
+    if index == 0:
+        print("error: no documents found in the given inputs", file=sys.stderr)
+        return 2
+    aggregator = shards[0]
+    for shard in shards[1:]:
+        aggregator.merge(shard)
+
+    snapshot = aggregator.snapshot()
+    if args.priors:
+        path = write_priors(aggregator.priors(), Path(args.priors))
+        print(f"wrote language priors to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_report(snapshot, top_languages=args.top_languages))
+        rate = index / elapsed if elapsed > 0 else 0.0
+        sharding = f", {args.shards} shards merged" if args.shards > 1 else ""
+        print(
+            f"analyzed {index} documents from {len(aggregator.sources)} source(s) "
+            f"in {elapsed:.2f} s ({rate:,.0f} docs/s{sharding})"
+        )
+    if args.fail_on_drift and snapshot["drift"]["alarm"]:
+        print("drift alarm raised", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     import json
 
@@ -471,6 +597,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.analytics import AnalyticsConfig
     from repro.serve import ClassificationService, ServeConfig, serve_http
 
     if (args.model is None) == (args.registry is None):
@@ -487,6 +614,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         trace_sample_rate=args.trace_sample_rate,
         trace_slow_ms=args.trace_slow_ms,
+        analytics=not args.no_analytics,
+        analytics_config=AnalyticsConfig(
+            window_seconds=args.analytics_window,
+            max_windows=args.analytics_max_windows,
+            drift_metric=args.drift_metric,
+            drift_threshold=args.drift_threshold,
+        ),
     )
     logger = None
     if args.log_json:
@@ -705,6 +839,87 @@ def build_parser() -> argparse.ArgumentParser:
     segment.add_argument("files", nargs="+", help="text files to segment; '-' reads stdin")
     segment.set_defaults(func=_cmd_segment)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="stream a corpus through a saved model and report per-source "
+        "language mix, quality and drift",
+    )
+    analyze.add_argument("--model", required=True, help="model artifact written by 'train'")
+    analyze.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="override the model's backend (profiles are re-programmed)",
+    )
+    add_batch_size_option(analyze, None)
+    analyze.add_argument(
+        "inputs", nargs="+",
+        help="JSONL files (one document object per line) and/or corpus "
+        "directories (one subdirectory per source, *.txt documents)",
+    )
+    analyze.add_argument(
+        "--text-field", default="text",
+        help="JSONL field holding the document text (default: text)",
+    )
+    analyze.add_argument(
+        "--source-field", default="source",
+        help="JSONL field attributing the document to a source; documents "
+        "without it fall back to the file's stem (default: source)",
+    )
+    analyze.add_argument(
+        "--timestamp-field", default=None,
+        help="numeric JSONL field placing the document on the drift time axis "
+        "(default: none — the document index is the axis)",
+    )
+    analyze.add_argument(
+        "--window", type=float, default=1000.0,
+        help="drift-window width: seconds of --timestamp-field when set, "
+        "documents otherwise (default: 1000)",
+    )
+    analyze.add_argument(
+        "--max-windows", type=_positive_int, default=32,
+        help="retained drift windows; the oldest retained one is the baseline",
+    )
+    analyze.add_argument(
+        "--drift-metric", choices=DRIFT_METRICS, default="js",
+        help="language-mix drift score: Jensen-Shannon divergence or "
+        "population stability index (default: js)",
+    )
+    analyze.add_argument(
+        "--drift-threshold", type=float, default=0.1,
+        help="language-mix drift score above which a window alarms",
+    )
+    analyze.add_argument(
+        "--confidence-drift-threshold", type=float, default=0.1,
+        help="absolute mean-confidence delta above which a window alarms",
+    )
+    analyze.add_argument(
+        "--min-window-docs", type=_positive_int, default=20,
+        help="windows with fewer documents never alarm (noise guard)",
+    )
+    analyze.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="fold the stream through N mergeable partial aggregators "
+        "(result is bit-identical to --shards 1)",
+    )
+    analyze.add_argument(
+        "--priors", default=None, metavar="PATH",
+        help="write the per-source language-priors artifact (JSON) to PATH",
+    )
+    analyze.add_argument(
+        "--top-languages", type=_positive_int, default=3,
+        help="languages listed per source in the report (default: 3)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full analytics snapshot as JSON instead of the report",
+    )
+    analyze.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit non-zero when the drift alarm is raised",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
     evaluate = sub.add_parser(
         "evaluate",
         help="robustness evaluation matrix (backend x noise scenario x length) "
@@ -835,6 +1050,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-slow-ms", type=float, default=250.0,
         help="requests slower than this are retained even when not sampled "
         "(always-keep slow exemplars)",
+    )
+    serve.add_argument(
+        "--no-analytics", action="store_true",
+        help="disable the traffic-analytics plane (GET /stats and the "
+        "language-mix / drift gauges in GET /metrics)",
+    )
+    serve.add_argument(
+        "--analytics-window", type=float, default=60.0,
+        help="drift-window width in seconds (default: 60)",
+    )
+    serve.add_argument(
+        "--analytics-max-windows", type=_positive_int, default=32,
+        help="retained drift windows; the oldest retained one is the baseline",
+    )
+    serve.add_argument(
+        "--drift-metric", choices=DRIFT_METRICS, default="js",
+        help="language-mix drift score: Jensen-Shannon divergence or "
+        "population stability index (default: js)",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=0.1,
+        help="language-mix drift score above which the drift alarm is raised",
     )
     serve.add_argument(
         "--log-json", action="store_true",

@@ -132,10 +132,17 @@ class ClassificationResult:
         matrix of :mod:`repro.eval` does this per backend and reports the
         expected calibration error before and after).
         """
-        counts = sorted(self.match_counts.values(), reverse=True)
-        if not counts:
-            return 0.0
-        return normalized_separation(counts[0], counts[1] if len(counts) > 1 else 0)
+        # single pass for the top two counts: this runs once per document on
+        # the serving/analytics hot path, where a full sort is measurable
+        # (match counters are non-negative, so 0 is a safe floor)
+        top = runner = 0
+        for count in self.match_counts.values():
+            if count > top:
+                runner = top
+                top = count
+            elif count > runner:
+                runner = count
+        return normalized_separation(top, runner)
 
     def ranking(self) -> list[tuple[str, int]]:
         """Languages ordered by decreasing match count."""

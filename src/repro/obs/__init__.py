@@ -15,12 +15,18 @@ The observability layer of the serving tier (:mod:`repro.serve`):
     served by ``GET /debug/traces``.
 :class:`~repro.obs.logging.JsonLogger`
     One structured JSON line per request / lifecycle event (swaps,
-    respawns, rejections) — ``repro serve --log-json``.
+    respawns, rejections) — ``repro serve --log-json``.  The analytics
+    plane (:mod:`repro.analytics`) logs through the same sink:
+    ``drift_alarm`` when the language-mix / mean-confidence drift check
+    first trips and ``drift_clear`` when it recovers (edge-triggered, so a
+    sustained alarm is two lines, not one per metrics scrape).
 
 The trace rides the whole pipeline: the micro-batcher carries the context
 with the queued document, the worker pipe frame protocol carries trace ids
 into replica processes and kernel timings back out, and the HTTP layer
-returns the id as an ``X-Request-Id`` response header.
+returns the id as an ``X-Request-Id`` response header.  Content-level
+telemetry — what the *traffic* looks like rather than how the service is
+behaving — lives in :mod:`repro.analytics` behind ``GET /stats``.
 """
 
 from __future__ import annotations

@@ -25,16 +25,23 @@ subsystem applies the same architecture to the software engine:
     and graceful draining shutdown (``executor="thread"|"process"``).
 :func:`~repro.serve.http.serve_http`
     Stdlib-only JSON/HTTP front-end (``POST /classify``, ``POST /segment``,
-    ``GET /healthz``, ``GET /metrics``, ``GET /debug/traces``); also exposed
-    as ``python -m repro serve``.  Segmentation requests flow through the same
-    cache / micro-batch / replica pipeline as classification (dedicated
-    per-replica queues, op-prefixed cache keys) under both executors.
+    ``GET /healthz``, ``GET /metrics``, ``GET /stats``,
+    ``GET /debug/traces``); also exposed as ``python -m repro serve``.
+    Segmentation requests flow through the same cache / micro-batch / replica
+    pipeline as classification (dedicated per-replica queues, op-prefixed
+    cache keys) under both executors.
 
 Observability is a first-class layer (:mod:`repro.obs`): every request is
 minted a :class:`~repro.obs.trace.TraceContext` whose per-stage spans tile
 its lifetime, exemplar traces are retained in a bounded ring behind
 ``GET /debug/traces``, responses carry ``X-Request-Id``, and
-``repro serve --log-json`` streams structured lifecycle events.
+``repro serve --log-json`` streams structured lifecycle events.  The
+content-level counterpart is the traffic-analytics plane
+(:mod:`repro.analytics`): an :class:`~repro.analytics.hook.AnalyticsHook`
+folds every classify result into per-source language-mix / confidence /
+quality statistics and time-bucketed drift windows, served by ``GET /stats``
+and as gauges in ``GET /metrics`` (disable with ``ServeConfig(analytics=
+False)`` or ``repro serve --no-analytics``).
 
 The ``confidence`` field in ``/classify`` responses is the raw normalized
 separation score, and its relationship to actual correctness is *measured*,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 
 from repro.api.persistence import model_fingerprint
 from repro.core.classifier import ClassificationResult
@@ -76,18 +76,31 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: lookup outcomes broken down by operation (classify vs segment) —
+        #: a classify hit saves a different amount of work than a segment hit,
+        #: and the analytics plane reports the cache-inclusive traffic mix
+        self.hits_by_op: Counter[str] = Counter()
+        self.misses_by_op: Counter[str] = Counter()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, digest: bytes):
-        """The cached result for ``digest``, refreshed to most-recently-used."""
+    def get(self, digest: bytes, op: str | None = None):
+        """The cached result for ``digest``, refreshed to most-recently-used.
+
+        ``op`` attributes the lookup to an operation in the per-op hit/miss
+        counters (the service passes ``"classify"`` / ``"segment"``).
+        """
         entry = self._entries.get(digest)
         if entry is None:
             self.misses += 1
+            if op is not None:
+                self.misses_by_op[op] += 1
             return None
         self._entries.move_to_end(digest)
         self.hits += 1
+        if op is not None:
+            self.hits_by_op[op] += 1
         return _defensive_copy(entry)
 
     def put(self, digest: bytes, result) -> None:
@@ -127,4 +140,11 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hits / lookups if lookups else 0.0,
+            "by_op": {
+                op: {
+                    "hits": self.hits_by_op.get(op, 0),
+                    "misses": self.misses_by_op.get(op, 0),
+                }
+                for op in sorted(set(self.hits_by_op) | set(self.misses_by_op))
+            },
         }

@@ -5,10 +5,12 @@ serving stack adds no dependencies beyond NumPy.  Endpoints:
 
 ``POST /classify``
     Body ``{"text": "..."}`` → one result, or ``{"texts": ["...", ...]}`` →
-    ``{"results": [...]}``.  Rejections map onto status codes: 413 for
-    oversized documents, 429 for backpressure, 503 while shutting down.
-    Every response (errors included, when the request reached admission)
-    carries an ``X-Request-Id`` header naming its trace.
+    ``{"results": [...]}``; an optional ``"source"`` string attributes the
+    document(s) to a traffic source in the analytics plane (``GET /stats``).
+    Rejections map onto status codes: 413 for oversized documents, 429 for
+    backpressure, 503 while shutting down.  Every response (errors included,
+    when the request reached admission) carries an ``X-Request-Id`` header
+    naming its trace.
 ``POST /segment``
     Same body contract (including ``X-Request-Id``), but each result is a
     mixed-language segmentation: the document tiled into ``spans`` of
@@ -21,7 +23,15 @@ serving stack adds no dependencies beyond NumPy.  Endpoints:
     Full metrics snapshot as JSON; ``GET /metrics?format=text`` returns the
     Prometheus exposition (HELP/TYPE lines, per-stage latency histograms,
     spec-style ``quantile`` labels) instead.  Reports the active model
-    version / fingerprint and ``model_swaps_total``.
+    version / fingerprint, ``model_swaps_total``, per-op cache hit/miss
+    counters, and — when analytics is on — per-source language-mix and
+    drift gauges.
+``GET /stats``
+    The traffic-analytics plane (:mod:`repro.analytics`): per-source
+    language mix, confidence/quality summaries, the time-bucketed window
+    ring and the drift verdicts (newest window vs baseline).
+    ``?windows=0`` omits the window ring for a compact payload; a service
+    started with analytics off answers ``{"enabled": false}``.
 ``GET /debug/traces``
     Retained exemplar traces, newest first (``?limit=N`` to cap), plus the
     tracer's sampling policy and counters — each trace is a request's full
@@ -175,6 +185,8 @@ async def _read_request(reader: asyncio.StreamReader, max_body_bytes: int):
 def _parse_document_body(body: bytes, path: str):
     """Parse a ``{"text": ...}`` / ``{"texts": [...]}`` body; 400 on anything else.
 
+    Either shape may carry an optional ``"source"`` (string) attributing the
+    document(s) to a traffic source in the analytics plane (``GET /stats``).
     Every malformed shape — undecodable bytes, invalid JSON, and valid JSON
     that is not an object (list, string, number, ``null``) — maps to 400, so
     a client bug can never surface as a 500.
@@ -187,17 +199,20 @@ def _parse_document_body(body: bytes, path: str):
         raise _HttpError(
             400, f"body must be a JSON object, got {type(payload).__name__}"
         )
+    source = payload.get("source")
+    if source is not None and not isinstance(source, str):
+        raise _HttpError(400, '"source" must be a string when present')
     if "texts" in payload:
         texts = payload["texts"]
         if not isinstance(texts, list) or not all(isinstance(t, str) for t in texts):
             raise _HttpError(400, '"texts" must be a list of strings')
-        return None, texts
+        return None, texts, source
     text = payload.get("text")
     if not isinstance(text, str):
         raise _HttpError(
             400, f'body must contain "text" (string) or "texts" (list) for {path}'
         )
-    return text, None
+    return text, None, source
 
 
 async def _dispatch(service: ClassificationService, method, path, query, body) -> bytes:
@@ -209,10 +224,24 @@ async def _dispatch(service: ClassificationService, method, path, query, body) -
         if method != "GET":
             raise _HttpError(405, "use GET for /metrics", headers={"Allow": "GET"})
         if "format=text" in query:
-            return _encode_response(
-                200, service.metrics.render_text().encode("utf-8"), "text/plain"
-            )
-        return _json_response(200, service.metrics.snapshot())
+            text_page = service.metrics.render_text()
+            if service.analytics is not None:
+                text_page += service.analytics.render_text_gauges()
+            return _encode_response(200, text_page.encode("utf-8"), "text/plain")
+        payload = service.metrics.snapshot()
+        if service.analytics is not None:
+            payload["analytics"] = service.analytics.gauges()
+        return _json_response(200, payload)
+    if path == "/stats":
+        if method != "GET":
+            raise _HttpError(405, "use GET for /stats", headers={"Allow": "GET"})
+        if service.analytics is None:
+            return _json_response(200, {"enabled": False})
+        include_windows = "windows=0" not in query
+        return _json_response(
+            200,
+            {"enabled": True, **service.analytics.snapshot(include_windows)},
+        )
     if path == "/admin/swap":
         if method != "POST":
             raise _HttpError(405, "use POST for /admin/swap", headers={"Allow": "POST"})
@@ -259,19 +288,19 @@ async def _dispatch(service: ClassificationService, method, path, query, body) -
     if path in ("/classify", "/segment"):
         if method != "POST":
             raise _HttpError(405, f"use POST for {path}", headers={"Allow": "POST"})
-        text, texts = _parse_document_body(body, path)
+        text, texts, source = _parse_document_body(body, path)
         to_json = result_to_json if path == "/classify" else segmentation_to_json
         try:
             if texts is not None:
                 if path == "/classify":
-                    pairs = await service.classify_many_traced(texts)
+                    pairs = await service.classify_many_traced(texts, source)
                 else:
                     pairs = await service.segment_many_traced(texts)
                 wire = {"results": [to_json(result) for result, _ctx in pairs]}
                 contexts = [ctx for _result, ctx in pairs]
             else:
                 if path == "/classify":
-                    result, ctx = await service.classify_traced(text)
+                    result, ctx = await service.classify_traced(text, source)
                 else:
                     result, ctx = await service.segment_traced(text)
                 wire = to_json(result)

@@ -157,6 +157,11 @@ class ServiceMetrics:
         self.responses_total = 0
         self.segment_requests_total = 0
         self.cache_hits = 0
+        #: per-operation cache lookup outcomes (op -> count): classify hits
+        #: vs segment hits are different savings, and the analytics plane
+        #: needs them to report the effective (cache-inclusive) traffic mix
+        self.cache_hits_by_op: Counter[str] = Counter()
+        self.cache_misses_by_op: Counter[str] = Counter()
         self.rejected_overload = 0
         self.rejected_too_large = 0
         self.errors_total = 0
@@ -190,6 +195,14 @@ class ServiceMetrics:
             if cached:
                 self.cache_hits += 1
             self._stage_locked("request").observe(float(latency_seconds))
+
+    def record_cache_lookup(self, op: str, hit: bool) -> None:
+        """Count one result-cache lookup for ``op`` (``classify``/``segment``)."""
+        with self._lock:
+            if hit:
+                self.cache_hits_by_op[op] += 1
+            else:
+                self.cache_misses_by_op[op] += 1
 
     def record_rejection(self, reason: str) -> None:
         with self._lock:
@@ -262,6 +275,16 @@ class ServiceMetrics:
         return self.bytes_total / self.uptime_seconds / 1e6
 
     @property
+    def requests_per_second(self) -> float:
+        """Admitted requests per second over the whole serving window.
+
+        The denominator the per-source rates of ``GET /stats`` are read
+        against — a language-mix share only means something at a known
+        request rate.
+        """
+        return self.requests_total / self.uptime_seconds
+
+    @property
     def mean_batch_size(self) -> float:
         with self._lock:
             total = sum(size * count for size, count in self.batch_sizes.items())
@@ -297,10 +320,13 @@ class ServiceMetrics:
             latencies = self.latency_percentiles()
             return {
                 "uptime_seconds": self.uptime_seconds,
+                "requests_per_second": self.requests_per_second,
                 "requests_total": self.requests_total,
                 "responses_total": self.responses_total,
                 "segment_requests_total": self.segment_requests_total,
                 "cache_hits": self.cache_hits,
+                "cache_hits_total": dict(sorted(self.cache_hits_by_op.items())),
+                "cache_misses_total": dict(sorted(self.cache_misses_by_op.items())),
                 "rejected_overload": self.rejected_overload,
                 "rejected_too_large": self.rejected_too_large,
                 "errors_total": self.errors_total,
@@ -323,6 +349,7 @@ class ServiceMetrics:
     #: scalar sample name -> (HELP text, TYPE); ordered as rendered
     _SCALARS = {
         "uptime_seconds": ("Seconds since the service metrics started.", "gauge"),
+        "requests_per_second": ("Admitted requests/s over the serving window.", "gauge"),
         "requests_total": ("Admitted requests (classify + segment).", "counter"),
         "responses_total": ("Completed responses, including cache hits.", "counter"),
         "segment_requests_total": ("Admitted segmentation requests.", "counter"),
@@ -369,6 +396,16 @@ class ServiceMetrics:
             lines.append(
                 f'repro_serve_latency_seconds{{quantile="{q / 100.0:g}"}} {value}'
             )
+        lines.append("# HELP repro_serve_cache_hits_total Result-cache hits by operation.")
+        lines.append("# TYPE repro_serve_cache_hits_total counter")
+        for op, count in snapshot["cache_hits_total"].items():
+            lines.append(f'repro_serve_cache_hits_total{{op="{op}"}} {count}')
+        lines.append(
+            "# HELP repro_serve_cache_misses_total Result-cache misses by operation."
+        )
+        lines.append("# TYPE repro_serve_cache_misses_total counter")
+        for op, count in snapshot["cache_misses_total"].items():
+            lines.append(f'repro_serve_cache_misses_total{{op="{op}"}} {count}')
         lines.append("# HELP repro_serve_batch_size_total Flush count by batch size.")
         lines.append("# TYPE repro_serve_batch_size_total counter")
         for size, count in snapshot["batch_size_histogram"].items():

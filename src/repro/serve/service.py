@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Sequence
 
+from repro.analytics import AnalyticsConfig, AnalyticsHook
 from repro.api.identifier import LanguageIdentifier
 from repro.core.classifier import ClassificationResult
 from repro.obs import TraceConfig, TraceContext, Tracer
@@ -85,6 +86,18 @@ class ServeConfig:
         (always-keep slow exemplars); ``float("inf")`` disables the rule.
     trace_ring_size:
         Bound on retained exemplar traces (most recent win).
+    analytics:
+        Whether the service folds every classification response into the
+        per-source traffic-analytics plane (:mod:`repro.analytics`) behind
+        ``GET /stats`` — measured overhead is gated ≤5%
+        (``benchmarks/test_analytics_overhead.py``); ``repro serve --no-analytics``
+        turns it off.
+    analytics_config:
+        Optional :class:`~repro.analytics.AnalyticsConfig` overriding the
+        window width / ring size / drift thresholds.
+    analytics_quality_sample_every:
+        Scan every K-th document per source for the alphabetical-rate quality
+        metric — the only analytics cost proportional to document length.
     """
 
     max_batch: int = 64
@@ -98,6 +111,9 @@ class ServeConfig:
     trace_sample_rate: float = 0.01
     trace_slow_ms: float = 250.0
     trace_ring_size: int = 256
+    analytics: bool = True
+    analytics_config: AnalyticsConfig | None = None
+    analytics_quality_sample_every: int = 8
 
     def trace_config(self) -> TraceConfig:
         """The retention policy these knobs describe (validates them too)."""
@@ -129,6 +145,8 @@ class ServeConfig:
             raise ValueError("max_pending must be positive")
         if self.max_document_bytes <= 0:
             raise ValueError("max_document_bytes must be positive")
+        if self.analytics_quality_sample_every < 1:
+            raise ValueError("analytics_quality_sample_every must be at least 1")
         self.trace_config()  # delegate the tracing-knob validation
 
 
@@ -161,6 +179,12 @@ class ClassificationService:
         Optional pre-built :class:`~repro.obs.trace.Tracer` (tests inject a
         deterministic one); by default one is constructed from the config's
         ``trace_*`` knobs, wired to this service's metrics and logger.
+    analytics:
+        Optional pre-built :class:`~repro.analytics.AnalyticsHook` (tests
+        inject one with a deterministic clock); by default one is constructed
+        from the config's ``analytics_*`` knobs when ``config.analytics`` is
+        on.  Every classification response — cache hits included — is folded
+        into its per-source stream stats, served by ``GET /stats``.
     """
 
     def __init__(
@@ -171,6 +195,7 @@ class ClassificationService:
         model_version: str | None = None,
         logger=None,
         tracer: Tracer | None = None,
+        analytics: AnalyticsHook | None = None,
     ):
         if isinstance(model, (str, Path)):
             model = LanguageIdentifier.load(model)
@@ -184,6 +209,21 @@ class ClassificationService:
             tracer
             if tracer is not None
             else Tracer(self.config.trace_config(), metrics=self.metrics, logger=logger)
+        )
+        if analytics is not None:
+            self.analytics: AnalyticsHook | None = analytics
+        elif self.config.analytics:
+            self.analytics = AnalyticsHook(
+                self.config.analytics_config,
+                quality_sample_every=self.config.analytics_quality_sample_every,
+                logger=logger,
+            )
+        else:
+            self.analytics = None
+        # pre-bound record method (or None): _submit_traced calls this once
+        # per classification response, where a wrapper frame is measurable
+        self._analytics_record = (
+            self.analytics.record if self.analytics is not None else None
         )
         self.cache = cache if cache is not None else ResultCache(self.config.cache_size)
         # Cache keys are (model fingerprint || document digest): a restart with
@@ -387,8 +427,14 @@ class ClassificationService:
             return batchers[self._pool.shard_for(digest)]
         return batchers[self._pool.next_round_robin()]
 
-    async def _submit(self, text: str | bytes, batchers: list[MicroBatcher], kind: str):
-        result, _ctx = await self._submit_traced(text, batchers, kind)
+    async def _submit(
+        self,
+        text: str | bytes,
+        batchers: list[MicroBatcher],
+        kind: str,
+        source: str | None = None,
+    ):
+        result, _ctx = await self._submit_traced(text, batchers, kind, source)
         return result
 
     def _reject(self, ctx: TraceContext, kind: str, reason: str, **fields) -> None:
@@ -398,8 +444,13 @@ class ClassificationService:
                 "rejection", request_id=ctx.trace_id, kind=kind, reason=reason, **fields
             )
 
+
     async def _submit_traced(
-        self, text: str | bytes, batchers: list[MicroBatcher], kind: str
+        self,
+        text: str | bytes,
+        batchers: list[MicroBatcher],
+        kind: str,
+        source: str | None = None,
     ) -> tuple:
         """The shared admission pipeline: size check, cache, micro-batch, record.
 
@@ -426,13 +477,21 @@ class ClassificationService:
             # be replayed for a segment request (and vice versa) on the shared
             # cache.
             cache_key = self._fingerprint + kind.encode("ascii") + b":" + digest
+            if source is not None:
+                ctx.note(source=source)
             ctx.stage("admission")
-            cached = self.cache.get(cache_key)
+            cached = self.cache.get(cache_key, op=kind)
+            self.metrics.record_cache_lookup(kind, hit=cached is not None)
             ctx.stage("cache_lookup")
             if cached is not None:
                 self.metrics.record_request(n_bytes, kind=kind)
                 self.tracer.finish(ctx, cached=True)
                 self.metrics.record_response(ctx.duration_seconds, cached=True)
+                # analytics plane: only classify responses carry the
+                # (language, confidence) pair the stream stats are built on;
+                # cache hits included so /stats shows the effective mix
+                if self._analytics_record is not None and kind == "classify":
+                    self._analytics_record(cached, source, text, None, True)
                 return cached, ctx
             try:
                 future = self._pick_batcher(batchers, digest).submit_nowait((text, ctx))
@@ -446,6 +505,8 @@ class ClassificationService:
             self.cache.put(cache_key, result)
             self.tracer.finish(ctx)
             self.metrics.record_response(ctx.duration_seconds)
+            if self._analytics_record is not None and kind == "classify":
+                self._analytics_record(result, source, text, None, False)
             return result, ctx
         except BaseException as exc:
             if isinstance(exc, ServeError):
@@ -454,8 +515,14 @@ class ClassificationService:
                 self.tracer.finish(ctx, status=f"error:{type(exc).__name__}")
             raise
 
-    async def classify(self, text: str | bytes) -> ClassificationResult:
+    async def classify(
+        self, text: str | bytes, source: str | None = None
+    ) -> ClassificationResult:
         """Classify one document through the cache + micro-batch pipeline.
+
+        ``source`` attributes the document to a traffic source in the
+        analytics plane (``GET /stats``) and on its trace; unattributed
+        traffic lands under :data:`~repro.analytics.DEFAULT_SOURCE`.
 
         Raises
         ------
@@ -466,10 +533,10 @@ class ClassificationService:
         ServiceOverloadedError
             If the target replica's queue is full (backpressure).
         """
-        return await self._submit(text, self._batchers, "classify")
+        return await self._submit(text, self._batchers, "classify", source)
 
     async def classify_traced(
-        self, text: str | bytes
+        self, text: str | bytes, source: str | None = None
     ) -> tuple[ClassificationResult, TraceContext]:
         """:meth:`classify`, returning ``(result, trace_context)``.
 
@@ -477,17 +544,23 @@ class ClassificationService:
         and the per-stage span waterfall; same exception contract as
         :meth:`classify`.
         """
-        return await self._submit_traced(text, self._batchers, "classify")
+        return await self._submit_traced(text, self._batchers, "classify", source)
 
-    async def classify_many(self, texts: Sequence[str | bytes]) -> list[ClassificationResult]:
+    async def classify_many(
+        self, texts: Sequence[str | bytes], source: str | None = None
+    ) -> list[ClassificationResult]:
         """Classify several documents concurrently (one result per input, in order)."""
-        return list(await asyncio.gather(*(self.classify(text) for text in texts)))
+        return list(
+            await asyncio.gather(*(self.classify(text, source) for text in texts))
+        )
 
     async def classify_many_traced(
-        self, texts: Sequence[str | bytes]
+        self, texts: Sequence[str | bytes], source: str | None = None
     ) -> list[tuple[ClassificationResult, TraceContext]]:
         """:meth:`classify_many`, returning ``(result, trace_context)`` pairs."""
-        return list(await asyncio.gather(*(self.classify_traced(text) for text in texts)))
+        return list(
+            await asyncio.gather(*(self.classify_traced(text, source) for text in texts))
+        )
 
     async def segment(self, text: str | bytes):
         """Segment one mixed-language document into single-language spans.
@@ -528,10 +601,14 @@ class ClassificationService:
         and a dying worker fleet are visible *before* overload rejections or
         crashed batches start.
         """
+        snapshot = self.metrics.snapshot()
         info = {
             "status": "ok" if self.is_running else "stopped",
             "languages": self.languages,
             "backend": self.identifier.config.backend,
+            "uptime_seconds": snapshot["uptime_seconds"],
+            "requests_per_second": snapshot["requests_per_second"],
+            "analytics": self.analytics is not None,
             "max_batch": self.config.max_batch,
             "max_delay_ms": self.config.max_delay_ms,
             "replicas": self.config.replicas,

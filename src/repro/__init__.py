@@ -67,7 +67,8 @@ Trained models persist as versioned ``.npz`` artifacts::
 
 from __future__ import annotations
 
-from repro.api.config import ClassifierConfig
+from repro.api.config import ClassifierConfig, EnsembleConfig
+from repro.api.ensemble import EnsembleBackend, load_priors
 from repro.api.identifier import LanguageIdentifier
 from repro.api.persistence import ModelFormatError
 from repro.api.registry import (
@@ -99,6 +100,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClassifierConfig",
+    "EnsembleConfig",
+    "EnsembleBackend",
+    "load_priors",
     "LanguageIdentifier",
     "ModelFormatError",
     "Backend",

@@ -51,6 +51,10 @@ class AccuracyReport:
     confidences: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
     #: per-document correctness flags, aligned with :attr:`confidences`
     correct_mask: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    #: documents the classifier abstained on (predicted a language outside the
+    #: corpus, i.e. the explicit ``und`` result) — abstentions always count as
+    #: misses in the accuracy figures, so abstaining can never inflate them
+    abstained: int = 0
 
     @property
     def average_accuracy(self) -> float:
@@ -83,6 +87,17 @@ class AccuracyReport:
     def mean_confidence(self) -> float:
         """Mean raw prediction confidence (0.0 when no confidences were recorded)."""
         return float(self.confidences.mean()) if self.confidences.size else 0.0
+
+    @property
+    def abstain_rate(self) -> float:
+        """Fraction of documents the classifier abstained on (``und``).
+
+        Abstained documents never land in the confusion matrix (their
+        prediction is outside the language index), so the document total is
+        the matrix mass plus the abstention count.
+        """
+        total = int(self.confusion.sum()) + self.abstained
+        return self.abstained / total if total else 0.0
 
     def confusion_as_dict(self) -> dict[tuple[str, str], int]:
         """Sparse dictionary view of the off-diagonal confusion counts."""
@@ -139,6 +154,7 @@ def _tabulate(corpus: Corpus, outcomes, record_misclassified: bool) -> AccuracyR
     correct = {language: 0 for language in languages}
     confidences: list[float] = []
     correct_flags: list[bool] = []
+    abstained = 0
     for document, outcome in zip(corpus, outcomes):
         predicted = outcome if isinstance(outcome, str) else outcome.language
         confidence = getattr(outcome, "confidence", None)
@@ -147,6 +163,10 @@ def _tabulate(corpus: Corpus, outcomes, record_misclassified: bool) -> AccuracyR
         predicted_index = index.get(predicted)
         if predicted_index is not None:
             confusion[gold_index, predicted_index] += 1
+        else:
+            # a prediction outside the corpus languages is the explicit
+            # "und" abstention (ensemble gates / zero-evidence documents)
+            abstained += 1
         hit = predicted == document.language
         if hit:
             correct[document.language] += 1
@@ -166,6 +186,7 @@ def _tabulate(corpus: Corpus, outcomes, record_misclassified: bool) -> AccuracyR
         misclassified=misclassified,
         confidences=np.asarray(confidences, dtype=np.float64),
         correct_mask=np.asarray(correct_flags, dtype=bool),
+        abstained=abstained,
     )
 
 

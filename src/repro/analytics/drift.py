@@ -71,6 +71,21 @@ def jensen_shannon_divergence(
     return min(max(divergence, 0.0), 1.0)
 
 
+def _smooth_normalise(distribution: dict[str, float], support) -> dict[str, float]:
+    """Normalise over ``support`` with epsilon mass on zero categories.
+
+    The epsilon is added *before* normalising, so the smoothed distribution
+    still sums to exactly 1 — clamping after normalisation (the previous
+    behaviour) silently inflated the total mass and with it the PSI terms.
+    """
+    weights = {}
+    for key in support:
+        value = max(distribution.get(key, 0.0), 0.0)
+        weights[key] = value if value > 0.0 else _PSI_EPSILON
+    total = sum(weights.values())
+    return {key: weight / total for key, weight in weights.items()}
+
+
 def population_stability_index(
     p: dict[str, float], q: dict[str, float]
 ) -> float:
@@ -83,12 +98,12 @@ def population_stability_index(
     support = sorted(set(p) | set(q))
     if not support or not p or not q:
         return 0.0
-    p_norm = _normalise(p, support)
-    q_norm = _normalise(q, support)
+    p_norm = _smooth_normalise(_normalise(p, support), support)
+    q_norm = _smooth_normalise(_normalise(q, support), support)
     psi = 0.0
     for key in support:
-        p_i = max(p_norm[key], _PSI_EPSILON)
-        q_i = max(q_norm[key], _PSI_EPSILON)
+        p_i = p_norm[key]
+        q_i = q_norm[key]
         psi += (p_i - q_i) * math.log(p_i / q_i)
     return psi
 

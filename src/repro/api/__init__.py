@@ -22,7 +22,13 @@ routing) plugs into a single API:
 from __future__ import annotations
 
 from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
-from repro.api.config import DEFAULT_BACKEND, KNOWN_HASH_FAMILIES, ClassifierConfig
+from repro.api.config import (
+    DEFAULT_BACKEND,
+    KNOWN_HASH_FAMILIES,
+    ClassifierConfig,
+    EnsembleConfig,
+)
+from repro.api.ensemble import EnsembleBackend, load_priors
 from repro.api.identifier import DEFAULT_STREAM_BATCH_SIZE, LanguageIdentifier
 from repro.api.persistence import (
     ARTIFACT_FORMAT,
@@ -41,6 +47,9 @@ from repro.api.registry import (
 
 __all__ = [
     "ClassifierConfig",
+    "EnsembleConfig",
+    "EnsembleBackend",
+    "load_priors",
     "KNOWN_HASH_FAMILIES",
     "DEFAULT_BACKEND",
     "DEFAULT_STREAM_BATCH_SIZE",

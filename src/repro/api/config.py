@@ -19,9 +19,11 @@ from repro.core.profile import DEFAULT_PROFILE_SIZE
 
 __all__ = [
     "ClassifierConfig",
+    "EnsembleConfig",
     "KNOWN_HASH_FAMILIES",
     "KNOWN_HASH_MODES",
     "DEFAULT_BACKEND",
+    "DEFAULT_ENSEMBLE_MEMBERS",
     "DEFAULT_STREAM_BATCH_SIZE",
 ]
 
@@ -44,6 +46,74 @@ DEFAULT_STREAM_BATCH_SIZE = 64
 
 #: bits per character code of the 5-bit alphabet (Section 3 of the paper)
 _CODE_BITS = 5
+
+#: member backends the ensemble fans out to when none are specified
+DEFAULT_ENSEMBLE_MEMBERS: tuple[str, ...] = ("bloom", "exact", "mguesser")
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Immutable configuration of the ``ensemble`` backend's voting policy.
+
+    Attributes
+    ----------
+    members:
+        Registry names of the member backends the ensemble fans each document
+        out to.  Every member shares the surrounding
+        :class:`ClassifierConfig`'s pipeline knobs (n, t, Bloom geometry, …).
+    min_ngrams:
+        Quality gate: documents contributing fewer packed n-grams abstain with
+        ``und`` instead of voting (1 reproduces the facade's existing
+        empty-document behaviour).
+    min_alpha_rate:
+        Quality gate: documents whose Unicode-letter fraction falls below this
+        threshold abstain (0.0 disables the gate; it only applies on code
+        paths that still hold the raw text).
+    tie_margin:
+        Two leading vote scores within this absolute margin count as a tie and
+        abstain (0.0 = exact ties only).
+    """
+
+    members: tuple[str, ...] = DEFAULT_ENSEMBLE_MEMBERS
+    min_ngrams: int = 1
+    min_alpha_rate: float = 0.0
+    tie_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        members = tuple(self.members)
+        object.__setattr__(self, "members", members)
+        if not members:
+            raise ValueError("ensemble needs at least one member backend")
+        if any(not isinstance(member, str) or not member for member in members):
+            raise ValueError("ensemble members must be non-empty backend names")
+        if "ensemble" in members:
+            raise ValueError("an ensemble cannot contain itself as a member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate ensemble members: {list(members)}")
+        if self.min_ngrams < 0:
+            raise ValueError("min_ngrams must be non-negative")
+        if not 0.0 <= self.min_alpha_rate <= 1.0:
+            raise ValueError("min_alpha_rate must be within [0, 1]")
+        if self.tie_margin < 0.0:
+            raise ValueError("tie_margin must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dictionary form (JSON friendly)."""
+        payload = dataclasses.asdict(self)
+        payload["members"] = list(self.members)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EnsembleConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so artifact drift is loud."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ensemble configuration keys: {sorted(unknown)}")
+        data = dict(payload)
+        if "members" in data:
+            data["members"] = tuple(data["members"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -77,7 +147,12 @@ class ClassifierConfig:
         configurations behave exactly as before.
     backend:
         Registry name of the membership backend (``"bloom"``, ``"exact"``,
-        ``"hw-sim"``, ``"mguesser"`` or ``"hail"``).
+        ``"hw-sim"``, ``"mguesser"``, ``"hail"`` or ``"ensemble"``).
+    ensemble:
+        Voting policy of the ``ensemble`` backend (:class:`EnsembleConfig`);
+        ``None`` means the defaults.  Ignored by every other backend and
+        omitted from :meth:`to_dict` when unset, so existing artifacts and
+        fingerprints are unaffected.
     stream_batch_size:
         Documents gathered per vectorized step by
         :meth:`~repro.api.identifier.LanguageIdentifier.classify_stream`
@@ -95,6 +170,7 @@ class ClassifierConfig:
     hash_mode: str = "auto"
     backend: str = DEFAULT_BACKEND
     stream_batch_size: int = DEFAULT_STREAM_BATCH_SIZE
+    ensemble: EnsembleConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -125,6 +201,8 @@ class ClassifierConfig:
             raise ValueError("backend must be a non-empty string")
         if self.stream_batch_size <= 0:
             raise ValueError("stream_batch_size must be positive")
+        if self.ensemble is not None and not isinstance(self.ensemble, EnsembleConfig):
+            raise ValueError("ensemble must be an EnsembleConfig (or None)")
 
     # ------------------------------------------------------------ derived
 
@@ -159,8 +237,18 @@ class ClassifierConfig:
     # ------------------------------------------------------------ serialisation
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dictionary form (JSON friendly)."""
-        return dataclasses.asdict(self)
+        """Plain-dictionary form (JSON friendly).
+
+        The ``ensemble`` key is omitted while unset so that pre-ensemble
+        artifacts, fingerprints and goldens are byte-identical to before the
+        field existed.
+        """
+        payload = dataclasses.asdict(self)
+        if self.ensemble is None:
+            del payload["ensemble"]
+        else:
+            payload["ensemble"] = self.ensemble.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ClassifierConfig":
@@ -169,7 +257,11 @@ class ClassifierConfig:
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown configuration keys: {sorted(unknown)}")
-        return cls(**dict(payload))
+        data = dict(payload)
+        nested = data.get("ensemble")
+        if isinstance(nested, Mapping):
+            data["ensemble"] = EnsembleConfig.from_dict(nested)
+        return cls(**data)
 
     def replace(self, **changes: Any) -> "ClassifierConfig":
         """A copy of this configuration with the given fields replaced (re-validated)."""

@@ -14,12 +14,13 @@ streaming, and model persistence look identical whichever engine runs under it::
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from pathlib import Path
 
 import numpy as np
 
 from repro.api import backends as _backends  # noqa: F401 - registers the built-in backends
+from repro.api import ensemble as _ensemble  # noqa: F401 - registers the ensemble backend
 from repro.api.config import DEFAULT_STREAM_BATCH_SIZE, ClassifierConfig
 from repro.api.registry import Backend, create_backend
 from repro.core.classifier import ClassificationResult, undetermined_result
@@ -123,16 +124,31 @@ class LanguageIdentifier:
             ngram_count=int(ngram_count),
         )
 
-    def classify(self, text: str | bytes) -> ClassificationResult:
-        """Classify one document."""
+    def classify(self, text: str | bytes, source: str | None = None) -> ClassificationResult:
+        """Classify one document.
+
+        ``source`` tags the document with its origin; backends that weight
+        votes with per-source priors (the ensemble) use it, every other
+        backend ignores it.
+        """
         self._check_trained()
         packed = self.extractor.extract(text)
+        lengths = np.asarray([packed.size], dtype=np.int64)
+        rich = self._backend.classify_batch_results(
+            packed, lengths, texts=[text], sources=[source]
+        )
+        if rich is not None:
+            return rich[0]
         return self._result_from_counts(self._backend.match_counts(packed), packed.size)
 
     #: alias so the facade satisfies the same duck type as the raw classifiers
     classify_text = classify
 
-    def classify_batch(self, texts: Iterable[str | bytes]) -> list[ClassificationResult]:
+    def classify_batch(
+        self,
+        texts: Iterable[str | bytes],
+        sources: str | Sequence[str | None] | None = None,
+    ) -> list[ClassificationResult]:
         """Classify several documents with one vectorized pass.
 
         All documents' packed n-grams are concatenated and handed to the
@@ -140,15 +156,28 @@ class LanguageIdentifier:
         addresses of the whole batch once and reuses them across every document
         and every language — substantially faster than classifying one document
         at a time.
+
+        ``sources`` is one source tag for the whole batch, or one per document
+        (``None`` gaps allowed); only prior-aware backends consume it.
         """
         self._check_trained()
+        texts = list(texts)
         extracted = [self.extractor.extract(text) for text in texts]
         if not extracted:
             return []
+        if isinstance(sources, str) or sources is None:
+            sources = [sources] * len(texts)
+        elif len(sources) != len(texts):
+            raise ValueError("sources must align with texts (one tag per document)")
         lengths = np.asarray([packed.size for packed in extracted], dtype=np.int64)
         concatenated = (
             np.concatenate(extracted) if lengths.sum() else np.empty(0, dtype=np.uint64)
         )
+        rich = self._backend.classify_batch_results(
+            concatenated, lengths, texts=texts, sources=sources
+        )
+        if rich is not None:
+            return rich
         counts = self._backend.match_counts_batch(concatenated, lengths)
         return [
             self._result_from_counts(counts[row], lengths[row])
@@ -159,6 +188,7 @@ class LanguageIdentifier:
         self,
         documents: Iterable[str | bytes],
         batch_size: int | None = None,
+        source: str | None = None,
     ) -> Iterator[ClassificationResult]:
         """Lazily classify an unbounded stream of documents.
 
@@ -166,7 +196,8 @@ class LanguageIdentifier:
         the configuration's ``stream_batch_size``) and pushed through the
         vectorized batch path; results are yielded in input order as each
         batch completes, so memory stays bounded by the batch size rather than
-        the stream length.  Argument and trained-state validation happens at
+        the stream length.  ``source`` tags every document of the stream (a
+        stream is one feed).  Argument and trained-state validation happens at
         call time, not at first consumption.
         """
         if batch_size is None:
@@ -180,10 +211,10 @@ class LanguageIdentifier:
             for document in documents:
                 pending.append(document)
                 if len(pending) >= batch_size:
-                    yield from self.classify_batch(pending)
+                    yield from self.classify_batch(pending, sources=source)
                     pending = []
             if pending:
-                yield from self.classify_batch(pending)
+                yield from self.classify_batch(pending, sources=source)
 
         return generate()
 

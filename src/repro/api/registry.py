@@ -110,6 +110,29 @@ class Backend(abc.ABC):
             start += length
         return out
 
+    def classify_batch_results(
+        self,
+        packed: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        texts=None,
+        sources=None,
+    ):
+        """Optional rich batch path: full per-document results, or ``None``.
+
+        Backends whose output is more than an argmax over
+        :meth:`match_counts_batch` — the ensemble's calibrated votes, priors
+        and abstention — override this to build the
+        :class:`~repro.core.classifier.ClassificationResult` list themselves.
+        ``texts`` (the raw documents, for text-level quality gates) and
+        ``sources`` (one source tag per document, for per-source priors) ride
+        along when the caller has them; either may be ``None``.
+
+        Returning ``None`` (the default) tells the facade to take the ordinary
+        counts-argmax path.
+        """
+        return None
+
     def ngram_hits(self, packed: np.ndarray) -> np.ndarray:
         """Per-n-gram, per-language scores for one document's packed n-grams.
 

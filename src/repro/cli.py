@@ -150,10 +150,35 @@ def _backend_list(spec: str) -> list[str]:
     return names
 
 
+def _member_list(spec: str) -> list[str]:
+    """Backend list for ``train --members`` (the ensemble cannot nest itself)."""
+    names = _backend_list(spec)
+    if "ensemble" in names:
+        raise argparse.ArgumentTypeError("the ensemble cannot be its own member")
+    return names
+
+
 def _read_stdin_document() -> str:
     stdin = sys.stdin
     buffer = getattr(stdin, "buffer", None)
     return buffer.read().decode("latin-1") if buffer is not None else stdin.read()
+
+
+def _ensemble_config_from_args(args: argparse.Namespace):
+    """The :class:`~repro.api.config.EnsembleConfig` the flags describe (or None)."""
+    if (getattr(args, "backend", None) or "bloom") != "ensemble":
+        return None
+    from repro.api.config import EnsembleConfig
+
+    kwargs = {}
+    members = getattr(args, "members", None)
+    if members:
+        kwargs["members"] = tuple(members)
+    for name in ("min_ngrams", "min_alpha_rate", "tie_margin"):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    return EnsembleConfig(**kwargs)
 
 
 def _config_from_args(args: argparse.Namespace) -> ClassifierConfig:
@@ -168,6 +193,7 @@ def _config_from_args(args: argparse.Namespace) -> ClassifierConfig:
         hash_mode=getattr(args, "hash_mode", "auto"),
         backend=args.backend or "bloom",
         stream_batch_size=getattr(args, "batch_size", None) or DEFAULT_STREAM_BATCH_SIZE,
+        ensemble=_ensemble_config_from_args(args),
     )
 
 
@@ -195,13 +221,31 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = _read_corpus(Path(args.corpus))
     identifier = LanguageIdentifier(_config_from_args(args)).train(corpus)
+    extras = ""
+    if identifier.config.backend == "ensemble":
+        backend = identifier.backend
+        if not args.no_calibrate:
+            # calibrate each member's vote weight on the training documents
+            # so the saved artifact votes with measured P(correct) out of the box
+            backend.fit_calibrators(
+                [doc.text for doc in corpus], [doc.language for doc in corpus]
+            )
+        if args.priors:
+            from repro.api.ensemble import load_priors
+
+            backend.set_priors(load_priors(Path(args.priors)))
+        extras = (
+            f"; ensemble members={','.join(backend.members)}"
+            f" calibrated={backend.calibrated}"
+            f" priors_sources={len(backend.priors_sources)}"
+        )
     path = identifier.save(Path(args.output), format=args.format)
     config = identifier.config
     print(
         f"trained {len(identifier.languages)} languages "
         f"(backend={config.backend}, n={config.n}, t={config.t}, "
         f"m={config.m_kbits} Kbits, k={config.k}); model saved to {path} "
-        f"({args.format} container)"
+        f"({args.format} container){extras}"
     )
     return 0
 
@@ -210,6 +254,18 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from collections import deque
 
     identifier = LanguageIdentifier.load(Path(args.model), backend=args.backend)
+    if args.priors is not None:
+        backend = identifier.backend
+        if not hasattr(backend, "set_priors"):
+            print(
+                f"error: --priors needs a prior-aware backend (ensemble); "
+                f"this model runs {identifier.config.backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.api.ensemble import load_priors
+
+        backend.set_priors(load_priors(Path(args.priors)))
     stdin_text: str | None = None
     # Lazily read files inside the generator so memory stays bounded by the
     # stream batch size, not the total corpus; labels are queued as each
@@ -232,11 +288,18 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     # Stream through the vectorized batch path; --batch-size overrides the
     # model configuration's stream_batch_size.
-    for result in identifier.classify_stream(documents(), batch_size=args.batch_size):
+    for result in identifier.classify_stream(
+        documents(), batch_size=args.batch_size, source=args.source
+    ):
         ranking = ", ".join(f"{lang}={count}" for lang, count in result.ranking()[:3])
+        suffix = (
+            f"  abstained={result.abstain_reason}"
+            if result.abstain_reason is not None
+            else ""
+        )
         print(
             f"{labels.popleft()}: {result.language}  "
-            f"confidence={result.confidence:.2f}  ({ranking})"
+            f"confidence={result.confidence:.2f}  ({ranking}){suffix}"
         )
     return 0
 
@@ -789,6 +852,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_batch_size_option(train, DEFAULT_STREAM_BATCH_SIZE)
     add_model_options(train)
     add_backend_option(train)
+    train.add_argument(
+        "--members", type=_member_list, default=None,
+        help="comma-separated member backends of an ensemble model "
+        "(--backend ensemble only; default: bloom,exact,mguesser)",
+    )
+    train.add_argument(
+        "--min-ngrams", type=_positive_int, default=None,
+        help="ensemble gate: abstain (und) on documents with fewer n-grams",
+    )
+    train.add_argument(
+        "--min-alpha-rate", type=float, default=None,
+        help="ensemble gate: abstain on documents whose Unicode-letter "
+        "fraction is below this (0 disables the gate)",
+    )
+    train.add_argument(
+        "--tie-margin", type=float, default=None,
+        help="ensemble gate: abstain when the top two vote scores are within "
+        "this margin",
+    )
+    train.add_argument(
+        "--priors", default=None, metavar="PATH",
+        help="bake a per-source language-priors artifact "
+        "(from 'analyze --priors') into the ensemble model",
+    )
+    train.add_argument(
+        "--no-calibrate", action="store_true",
+        help="skip fitting the ensemble's per-member confidence calibrators "
+        "on the training corpus (members then vote with raw separation)",
+    )
     train.set_defaults(func=_cmd_train)
 
     classify = sub.add_parser("classify", help="classify text files against a saved model")
@@ -800,6 +892,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the model's backend (profiles are re-programmed)",
     )
     add_batch_size_option(classify, None)
+    classify.add_argument(
+        "--source", default=None,
+        help="traffic-source tag for every document; prior-aware backends "
+        "(ensemble) weight their votes with the source's language priors",
+    )
+    classify.add_argument(
+        "--priors", default=None, metavar="PATH",
+        help="install a per-source language-priors artifact before classifying "
+        "(ensemble models; overrides any priors baked in at train time)",
+    )
     classify.add_argument("files", nargs="+", help="text files to classify; '-' reads stdin")
     classify.set_defaults(func=_cmd_classify)
 
@@ -949,8 +1051,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--backends",
         type=_backend_list,
-        default=["bloom", "exact", "mguesser"],
-        help="comma-separated backends to compare (default: bloom,exact,mguesser)",
+        default=["bloom", "exact", "mguesser", "ensemble"],
+        help="comma-separated backends to compare "
+        "(default: bloom,exact,mguesser,ensemble)",
     )
     evaluate.add_argument(
         "--scenarios",

@@ -49,18 +49,26 @@ __all__ = [
 UNDETERMINED_LANGUAGE = "und"
 
 
-def undetermined_result(languages: Iterable[str]) -> "ClassificationResult":
+def undetermined_result(
+    languages: Iterable[str],
+    *,
+    ngram_count: int = 0,
+    abstain_reason: str | None = None,
+) -> "ClassificationResult":
     """The canonical zero-evidence result: ``und`` label, all-zero counts.
 
     Shared by every classification surface (raw classifiers, the
-    :class:`~repro.api.identifier.LanguageIdentifier` facade and the
-    segmenter's too-short path) so abstention/ensemble logic can rely on one
-    representation of "this document carried no n-gram evidence".
+    :class:`~repro.api.identifier.LanguageIdentifier` facade, the segmenter's
+    too-short path and the ensemble backend's abstention) so abstention logic
+    can rely on one representation of "this document carried no usable
+    evidence".  The ensemble passes ``ngram_count``/``abstain_reason`` to say
+    *why* it declined to label a document that did carry n-grams.
     """
     return ClassificationResult(
         language=UNDETERMINED_LANGUAGE,
         match_counts={language: 0 for language in languages},
-        ngram_count=0,
+        ngram_count=ngram_count,
+        abstain_reason=abstain_reason,
     )
 
 
@@ -95,11 +103,25 @@ class ClassificationResult:
         Mapping from language to its match counter value.
     ngram_count:
         Number of n-grams tested (document length minus ``n - 1``).
+    calibrated_confidence:
+        A measured P(correct) in ``[0, 1]`` when the producing backend carries
+        fitted calibrators (the ensemble's vote share); ``None`` everywhere
+        else — :attr:`confidence` stays the raw separation score.
+    abstain_reason:
+        Why the ensemble declined to label this document (``"too_short"``,
+        ``"low_alpha_rate"``, ``"tie"``); ``None`` for ordinary predictions
+        and for the plain zero-evidence ``und``.
+    member_votes:
+        Per-member vote breakdown ``{member: {"language": ..., "weight": ...}}``
+        from the ensemble backend; ``None`` for single-engine results.
     """
 
     language: str
     match_counts: dict[str, int]
     ngram_count: int
+    calibrated_confidence: float | None = None
+    abstain_reason: str | None = None
+    member_votes: dict[str, dict] | None = None
 
     @property
     def scores(self) -> dict[str, float]:

@@ -150,6 +150,24 @@ class ConfidenceCalibrator:
         self.raw_points = raw
         self.calibrated_points = calibrated
 
+    @property
+    def is_constant(self) -> bool:
+        """Whether this calibrator maps *every* raw confidence to one value.
+
+        Happens two ways: pool-adjacent-violators pools the whole fit down to
+        a single point (accuracy strictly decreases with confidence until
+        everything merges), or every surviving point carries the same
+        calibrated value (e.g. every training prediction wrong, or uniformly
+        right — bins tie at accuracy 0 or 1 and never violate monotonicity).
+        Either way the only defensible calibrated estimate is that one value,
+        regardless of the raw score, and :meth:`__call__` handles the case
+        explicitly rather than leaving it to ``np.interp``'s incidental
+        behaviour on degenerate point sets.
+        """
+        return self.raw_points.size == 1 or bool(
+            np.all(self.calibrated_points == self.calibrated_points[0])
+        )
+
     # ------------------------------------------------------------ fitting
 
     @classmethod
@@ -184,8 +202,14 @@ class ConfidenceCalibrator:
     # ------------------------------------------------------------ application
 
     def __call__(self, confidences) -> np.ndarray:
-        """Calibrated confidence for raw value(s); always returns an array."""
+        """Calibrated confidence for raw value(s); always returns an array.
+
+        A degenerate single-point fit (see :attr:`is_constant`) is a documented
+        constant map onto that point's pooled accuracy.
+        """
         conf = np.atleast_1d(np.asarray(confidences, dtype=np.float64))
+        if self.is_constant:
+            return np.full(conf.shape, float(self.calibrated_points[0]))
         return np.interp(conf, self.raw_points, self.calibrated_points)
 
     def calibrate_one(self, confidence: float) -> float:

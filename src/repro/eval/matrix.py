@@ -99,6 +99,11 @@ class MatrixCell:
         """Calibrated ECE (raw ECE is :attr:`CalibrationReport.ece_raw`)."""
         return self.calibration.ece
 
+    @property
+    def abstain_rate(self) -> float:
+        """Fraction of the cell's documents the backend abstained on (``und``)."""
+        return self.report.abstain_rate
+
     def to_json(self) -> dict:
         return {
             "backend": self.backend,
@@ -111,6 +116,7 @@ class MatrixCell:
             "overall_accuracy": self.report.overall_accuracy,
             "min_accuracy": self.report.min_accuracy,
             "mean_confidence": self.report.mean_confidence,
+            "abstain_rate": self.report.abstain_rate,
             "calibration": self.calibration.to_json(),
         }
 
@@ -293,6 +299,23 @@ def run_matrix(
     started = time.perf_counter()
     calibration_scenario = _calibration_scenario(scenarios)
     calibration_length = max(lengths)
+
+    # Ensembles calibrate their members' vote weights on the anchor cell
+    # (clean scenario at full length) *before* any cell is classified, so
+    # every cell — the anchor included — is measured with the calibrated
+    # votes the saved model would serve.  Already-calibrated ensembles (a
+    # loaded artifact) keep the calibrators they carry.
+    anchor_channel = TruncateChannel(calibration_length).then(
+        calibration_scenario.channel()
+    )
+    anchor_corpus = anchor_channel.corrupt_corpus(corpus, seed=seed)
+    for identifier in identifiers.values():
+        backend = identifier.backend
+        if hasattr(backend, "fit_calibrators") and not getattr(backend, "calibrated", True):
+            backend.fit_calibrators(
+                [document.text for document in anchor_corpus],
+                [document.language for document in anchor_corpus],
+            )
 
     # corrupt once per (scenario, length); every backend reads the same bytes
     reports: dict[tuple[str, str, int], AccuracyReport] = {}

@@ -17,12 +17,11 @@ age out of the LRU naturally.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import hashlib
 from collections import Counter, OrderedDict
 
 from repro.api.persistence import model_fingerprint
-from repro.core.classifier import ClassificationResult
-from repro.segment.types import SegmentationResult
 
 __all__ = ["ResultCache", "text_digest", "model_fingerprint"]
 
@@ -33,27 +32,41 @@ def text_digest(text: str | bytes) -> bytes:
     return hashlib.blake2b(data, digest_size=16).digest()
 
 
+def _copy_field_value(value):
+    """One field's independent copy: fresh top-level containers, shared leaves.
+
+    The result types' leaves are immutable (ints, strings, frozen ``Span``
+    dataclasses), so copying the outermost mutable container is enough to keep
+    callers from mutating the cached entry; nested dicts (the ensemble's
+    per-member vote breakdown) get one more level of the same treatment.
+    """
+    if isinstance(value, dict):
+        return {
+            key: dict(item) if isinstance(item, dict) else item
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return list(value)
+    return value
+
+
 def _defensive_copy(result):
     """An independent copy of a cached value (classification or segmentation).
 
-    Both known result types get a cheap field-level copy (their leaves are
-    immutable — ints, strings, frozen ``Span`` dataclasses); anything else
-    falls back to a deep copy so callers can never mutate the cached entry
-    through shared containers.
+    Dataclass results are copied *field-complete* — every declared field is
+    enumerated via :func:`dataclasses.fields`, so a field added to
+    ``ClassificationResult`` (calibrated confidence, abstain reason, member
+    votes, …) can never be silently dropped on a cache hit the way a
+    hard-coded constructor call would drop it.  Anything else falls back to a
+    deep copy.
     """
-    if isinstance(result, ClassificationResult):
-        return ClassificationResult(
-            language=result.language,
-            match_counts=dict(result.match_counts),
-            ngram_count=result.ngram_count,
-        )
-    if isinstance(result, SegmentationResult):
-        return SegmentationResult(
-            spans=list(result.spans),
-            text_length=result.text_length,
-            ngram_count=result.ngram_count,
-            window_count=result.window_count,
-        )
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        replacements = {
+            field.name: _copy_field_value(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+            if field.init
+        }
+        return dataclasses.replace(result, **replacements)
     return copy.deepcopy(result)
 
 

@@ -84,14 +84,26 @@ _REASONS = {
 
 
 def result_to_json(result: ClassificationResult) -> dict:
-    """Wire form of one classification result."""
-    return {
+    """Wire form of one classification result.
+
+    The ensemble's extra fields — calibrated confidence, abstain reason and
+    the per-member vote breakdown — appear only when the result carries them,
+    so single-backend responses keep their historical five-key shape.
+    """
+    wire = {
         "language": result.language,
         "match_counts": result.match_counts,
         "ngram_count": result.ngram_count,
         "margin": result.margin,
         "confidence": result.confidence,
     }
+    if result.calibrated_confidence is not None:
+        wire["calibrated_confidence"] = result.calibrated_confidence
+    if result.abstain_reason is not None:
+        wire["abstain_reason"] = result.abstain_reason
+    if result.member_votes is not None:
+        wire["member_votes"] = result.member_votes
+    return wire
 
 
 class _HttpError(Exception):

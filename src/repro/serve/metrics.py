@@ -165,6 +165,15 @@ class ServiceMetrics:
         self.rejected_overload = 0
         self.rejected_too_large = 0
         self.errors_total = 0
+        #: ensemble voting outcomes: classify responses that abstained
+        #: (``und`` with a reason), broken down by reason, and how often the
+        #: casting members agreed unanimously — the two health signals of a
+        #: calibrated-voting ensemble (a rising abstain rate means the feed
+        #: outgrew the gates; falling unanimity means the members diverge)
+        self.abstentions_total = 0
+        self.abstentions_by_reason: Counter[str] = Counter()
+        self.ensemble_votes_total = 0
+        self.ensemble_unanimous_total = 0
         self.batches_total = 0
         self.worker_respawns_total = 0
         self.model_swaps_total = 0
@@ -203,6 +212,34 @@ class ServiceMetrics:
                 self.cache_hits_by_op[op] += 1
             else:
                 self.cache_misses_by_op[op] += 1
+
+    def record_ensemble_result(self, result) -> None:
+        """Fold one ensemble classify response into the voting-health counters.
+
+        ``result`` is any object exposing ``abstain_reason`` and
+        ``member_votes`` (the ensemble's enriched
+        :class:`~repro.core.classifier.ClassificationResult`); results from
+        other backends carry neither and are a no-op, so the service can call
+        this unconditionally.
+        """
+        reason = getattr(result, "abstain_reason", None)
+        votes = getattr(result, "member_votes", None)
+        if reason is None and votes is None:
+            return
+        with self._lock:
+            if reason is not None:
+                self.abstentions_total += 1
+                self.abstentions_by_reason[reason] += 1
+            if votes:
+                cast = [
+                    vote.get("language")
+                    for vote in votes.values()
+                    if vote.get("language") is not None
+                ]
+                if cast:
+                    self.ensemble_votes_total += 1
+                    if len(set(cast)) == 1:
+                        self.ensemble_unanimous_total += 1
 
     def record_rejection(self, reason: str) -> None:
         with self._lock:
@@ -330,6 +367,10 @@ class ServiceMetrics:
                 "rejected_overload": self.rejected_overload,
                 "rejected_too_large": self.rejected_too_large,
                 "errors_total": self.errors_total,
+                "abstentions_total": self.abstentions_total,
+                "abstentions_by_reason": dict(sorted(self.abstentions_by_reason.items())),
+                "ensemble_votes_total": self.ensemble_votes_total,
+                "ensemble_unanimous_total": self.ensemble_unanimous_total,
                 "batches_total": self.batches_total,
                 "worker_respawns_total": self.worker_respawns_total,
                 "model_swaps_total": self.model_swaps_total,
@@ -357,6 +398,9 @@ class ServiceMetrics:
         "rejected_overload": ("Requests rejected by queue backpressure (429).", "counter"),
         "rejected_too_large": ("Requests rejected for oversized documents (413).", "counter"),
         "errors_total": ("Requests failed for other reasons.", "counter"),
+        "abstentions_total": ("Ensemble classify responses that abstained (und).", "counter"),
+        "ensemble_votes_total": ("Ensemble responses with at least one member vote.", "counter"),
+        "ensemble_unanimous_total": ("Ensemble responses with unanimous member votes.", "counter"),
         "batches_total": ("Micro-batcher flushes handed to a replica.", "counter"),
         "worker_respawns_total": ("Crashed replica workers replaced.", "counter"),
         "model_swaps_total": ("Completed blue/green model swaps.", "counter"),
@@ -395,6 +439,15 @@ class ServiceMetrics:
             value = snapshot["latency_seconds"][f"p{q:g}"]
             lines.append(
                 f'repro_serve_latency_seconds{{quantile="{q / 100.0:g}"}} {value}'
+            )
+        lines.append(
+            "# HELP repro_serve_abstentions_by_reason_total "
+            "Ensemble abstentions by reason (too_short/low_alpha_rate/tie/no_votes)."
+        )
+        lines.append("# TYPE repro_serve_abstentions_by_reason_total counter")
+        for reason, count in snapshot["abstentions_by_reason"].items():
+            lines.append(
+                f'repro_serve_abstentions_by_reason_total{{reason="{reason}"}} {count}'
             )
         lines.append("# HELP repro_serve_cache_hits_total Result-cache hits by operation.")
         lines.append("# TYPE repro_serve_cache_hits_total counter")

@@ -85,10 +85,12 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
                 frame = conn.recv()
             except (EOFError, OSError):
                 break  # parent went away: exit quietly
-            # Data frames may carry trace ids as a third element; control
-            # frames (stop/swap) are always two-element.
+            # Data frames may carry trace ids as a third element and source
+            # tags as a fourth; control frames (stop/swap) are always
+            # two-element.
             kind, payload = frame[0], frame[1]
             trace_ids = frame[2] if len(frame) > 2 else None
+            sources = frame[3] if len(frame) > 3 else None
             if kind == "stop":
                 break
             if kind == "swap":
@@ -119,7 +121,7 @@ def _worker_main(conn, segment_name: str, backend: str | None) -> None:
                 if kind == "segment":
                     results = [identifier.segment(text) for text in payload]
                 else:
-                    results = identifier.classify_batch(payload)
+                    results = identifier.classify_batch(payload, sources=sources)
                 meta = {
                     "trace_ids": trace_ids,
                     "kernel_seconds": time.perf_counter() - kernel_start,
@@ -257,7 +259,14 @@ class ProcessReplicaPool(ReplicaPoolBase):
             )
         worker.ready = True
 
-    def _call(self, index: int, op: str, payload, contexts: list | None = None) -> list:
+    def _call(
+        self,
+        index: int,
+        op: str,
+        payload,
+        contexts: list | None = None,
+        sources: list | None = None,
+    ) -> list:
         """One blocking request/response round-trip (runs on a dispatcher thread).
 
         When trace ``contexts`` ride along (data frames only), their ids cross
@@ -265,7 +274,9 @@ class ProcessReplicaPool(ReplicaPoolBase):
         proving the results came from a worker generation that actually saw
         this batch, across any number of crash/respawn cycles — and each trace
         gets its ``ipc_roundtrip`` / ``kernel`` spans plus the serving worker's
-        pid before the results are handed back.
+        pid before the results are handed back.  ``sources`` (classify only)
+        cross the pipe as an optional fourth frame element for prior-aware
+        backends.
         """
         worker = self._workers[index]
         trace_ids = (
@@ -273,7 +284,12 @@ class ProcessReplicaPool(ReplicaPoolBase):
             if contexts
             else None
         )
-        frame_out = (op, payload) if trace_ids is None else (op, payload, trace_ids)
+        if sources is not None:
+            frame_out = (op, payload, trace_ids, sources)
+        elif trace_ids is not None:
+            frame_out = (op, payload, trace_ids)
+        else:
+            frame_out = (op, payload)
         try:
             self._ensure_ready(worker)
             try:
@@ -309,11 +325,22 @@ class ProcessReplicaPool(ReplicaPoolBase):
     # ------------------------------------------------------------ classification
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+        self,
+        replica_index: int,
+        texts: Sequence[str | bytes],
+        contexts: Sequence | None = None,
+        sources: Sequence[str | None] | None = None,
     ) -> list[ClassificationResult]:
-        """Run one worker's vectorized batch path off the event loop."""
+        """Run one worker's vectorized batch path off the event loop.
+
+        ``sources`` only cross the pipe when at least one document carries a
+        tag — untagged batches keep the compact two/three-element frame.
+        """
         if self._closed:
             raise RuntimeError("replica pool is closed")
+        source_list = list(sources) if sources is not None else None
+        if source_list is not None and all(source is None for source in source_list):
+            source_list = None
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._dispatchers[replica_index],
@@ -322,6 +349,7 @@ class ProcessReplicaPool(ReplicaPoolBase):
             "classify",
             list(texts),
             list(contexts) if contexts else None,
+            source_list,
         )
 
     async def segment_batch(

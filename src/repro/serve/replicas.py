@@ -123,8 +123,14 @@ class ReplicaPoolBase:
     # ------------------------------------------------------------ contract
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+        self,
+        replica_index: int,
+        texts: Sequence[str | bytes],
+        contexts: Sequence | None = None,
+        sources: Sequence[str | None] | None = None,
     ) -> list[ClassificationResult]:
+        """Classify a batch on one replica; ``sources`` (one per text, ``None``
+        gaps allowed) feed prior-aware backends such as the ensemble."""
         raise NotImplementedError
 
     async def segment_batch(
@@ -176,24 +182,31 @@ class ThreadReplicaPool(ReplicaPoolBase):
     # ------------------------------------------------------------ classification
 
     async def classify_batch(
-        self, replica_index: int, texts: Sequence[str | bytes], contexts: Sequence | None = None
+        self,
+        replica_index: int,
+        texts: Sequence[str | bytes],
+        contexts: Sequence | None = None,
+        sources: Sequence[str | None] | None = None,
     ) -> list[ClassificationResult]:
         """Run one replica's vectorized batch path in its dedicated thread.
 
         When trace ``contexts`` ride along (one per text, ``None`` gaps
         allowed), the kernel is timed on the worker thread itself and each
         trace gets ``ipc_roundtrip`` + ``kernel`` spans on completion.
+        ``sources`` are passed straight to the facade's batch path for
+        prior-aware backends.
         """
         if self._closed:
             raise RuntimeError("replica pool is closed")
         replica = self.replicas[replica_index]
         executor = self._executors[replica_index]
         batch = list(texts)
+        batch_sources = list(sources) if sources is not None else None
         loop = asyncio.get_running_loop()
 
         def work():
             t0 = time.perf_counter()
-            results = replica.classify_batch(batch)
+            results = replica.classify_batch(batch, sources=batch_sources)
             return results, time.perf_counter() - t0
 
         results, kernel_seconds = await loop.run_in_executor(executor, work)

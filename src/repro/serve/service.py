@@ -230,6 +230,10 @@ class ClassificationService:
         # a different model fingerprints differently, so stale replays are
         # structurally impossible even on a shared/warmed cache.
         self._fingerprint = model_fingerprint(model)
+        # Prior-aware backends (the ensemble) may answer differently per
+        # source tag, so their cache keys must cover the source — otherwise a
+        # result computed for source A would be replayed for source B.
+        self._source_aware = model.config.backend == "ensemble"
         self.model_version = model_version
         self.metrics.set_model_info(model_version, self._fingerprint.hex())
         #: optional :class:`~repro.registry.switch.ModelSwitch` wired in by the
@@ -348,6 +352,7 @@ class ClassificationService:
             # bookkeeping below only has to catch up.
             self.identifier = model
             self._fingerprint = model_fingerprint(model)
+            self._source_aware = model.config.backend == "ensemble"
             self.model_version = version
             evicted = self.cache.evict_fingerprint(old_fingerprint)
             self.metrics.record_model_swap()
@@ -378,23 +383,30 @@ class ClassificationService:
     # ------------------------------------------------------------ classification
 
     def _open_batch(self, items: Sequence, replica_index: int):
-        """Unpack a flushed batch of ``(text, ctx)`` pairs and stamp its traces.
+        """Unpack a flushed batch of ``(text, ctx, source)`` triples and stamp its traces.
 
         Every trace riding the batch closes its ``queue_wait`` span at one
         shared instant (the flush began for all of them at once), learns which
         replica and batch it landed in, then closes ``batch_assembly`` once the
         unpacking/bookkeeping is done — so the spans keep tiling the timeline.
+        Legacy ``(text, ctx)`` pairs and bare texts are still unpacked (their
+        source defaults to ``None``).
         """
         flushed_at = time.perf_counter()
         texts: list = []
         contexts: list = []
+        sources: list = []
         for item in items:
-            if isinstance(item, tuple) and len(item) == 2:
+            if isinstance(item, tuple) and len(item) == 3:
+                text, ctx, source = item
+            elif isinstance(item, tuple) and len(item) == 2:
                 text, ctx = item
+                source = None
             else:  # untraced caller submitting bare texts
-                text, ctx = item, None
+                text, ctx, source = item, None, None
             texts.append(text)
             contexts.append(ctx)
+            sources.append(source)
         self.metrics.record_batch(len(texts))
         assembled_at = time.perf_counter()
         for ctx in contexts:
@@ -403,18 +415,20 @@ class ClassificationService:
             ctx.stage("queue_wait", now=flushed_at)
             ctx.note(replica=replica_index, batch_size=len(texts))
             ctx.stage("batch_assembly", now=assembled_at)
-        return texts, contexts
+        return texts, contexts, sources
 
     def _make_flush(self, replica_index: int):
         async def flush(items: Sequence) -> Sequence[ClassificationResult]:
-            texts, contexts = self._open_batch(items, replica_index)
-            return await self._pool.classify_batch(replica_index, texts, contexts)
+            texts, contexts, sources = self._open_batch(items, replica_index)
+            return await self._pool.classify_batch(
+                replica_index, texts, contexts, sources
+            )
 
         return flush
 
     def _make_segment_flush(self, replica_index: int):
         async def flush(items: Sequence) -> Sequence:
-            texts, contexts = self._open_batch(items, replica_index)
+            texts, contexts, _sources = self._open_batch(items, replica_index)
             return await self._pool.segment_batch(replica_index, texts, contexts)
 
         return flush
@@ -477,6 +491,11 @@ class ClassificationService:
             # be replayed for a segment request (and vice versa) on the shared
             # cache.
             cache_key = self._fingerprint + kind.encode("ascii") + b":" + digest
+            if self._source_aware and kind == "classify":
+                # Prior-aware model: the answer may depend on the source tag,
+                # so the tag joins the key (untagged traffic keys separately).
+                tag = source.encode("utf-8") if source is not None else b""
+                cache_key += b"|src:" + tag
             if source is not None:
                 ctx.note(source=source)
             ctx.stage("admission")
@@ -490,11 +509,15 @@ class ClassificationService:
                 # analytics plane: only classify responses carry the
                 # (language, confidence) pair the stream stats are built on;
                 # cache hits included so /stats shows the effective mix
-                if self._analytics_record is not None and kind == "classify":
-                    self._analytics_record(cached, source, text, None, True)
+                if kind == "classify":
+                    self.metrics.record_ensemble_result(cached)
+                    if self._analytics_record is not None:
+                        self._analytics_record(cached, source, text, None, True)
                 return cached, ctx
             try:
-                future = self._pick_batcher(batchers, digest).submit_nowait((text, ctx))
+                future = self._pick_batcher(batchers, digest).submit_nowait(
+                    (text, ctx, source)
+                )
             except ServiceOverloadedError:
                 self._reject(ctx, kind, "overload")
                 raise
@@ -505,8 +528,10 @@ class ClassificationService:
             self.cache.put(cache_key, result)
             self.tracer.finish(ctx)
             self.metrics.record_response(ctx.duration_seconds)
-            if self._analytics_record is not None and kind == "classify":
-                self._analytics_record(result, source, text, None, False)
+            if kind == "classify":
+                self.metrics.record_ensemble_result(result)
+                if self._analytics_record is not None:
+                    self._analytics_record(result, source, text, None, False)
             return result, ctx
         except BaseException as exc:
             if isinstance(exc, ServeError):

@@ -149,6 +149,30 @@ class TestDivergences:
         shifted = population_stability_index({"en": 0.9, "fr": 0.1}, mix)
         assert shifted > 0.2
 
+    def test_psi_disjoint_support_pins_the_smoothed_value(self):
+        # regression for the smoothing-order bug: epsilon mass must be added
+        # *before* normalising (so each smoothed side still sums to 1), then
+        # renormalised.  On fully disjoint support {a} vs {b} each side
+        # becomes {1/(1+eps), eps/(1+eps)} and the PSI is analytically
+        #   2 * ((1-eps)/(1+eps)) * ln(1/eps)  ~= 27.63 at eps=1e-6.
+        # The old clamp-after-normalise behaviour left the distributions
+        # summing to 1+eps and produced a subtly different (wrong) value.
+        import math
+
+        eps = 1e-6
+        expected = 2.0 * ((1.0 - eps) / (1.0 + eps)) * math.log(1.0 / eps)
+        psi = population_stability_index({"a": 1.0}, {"b": 1.0})
+        assert psi == pytest.approx(expected, rel=1e-12)
+        assert psi == pytest.approx(27.63, abs=0.01)
+
+    def test_psi_partial_overlap_smooths_only_missing_categories(self):
+        # one category missing from one side: still finite, symmetric by
+        # formula, and far smaller than the fully-disjoint pinned value
+        psi = population_stability_index({"en": 0.5, "fr": 0.5}, {"en": 1.0})
+        assert 0.0 < psi < 27.0
+        reverse = population_stability_index({"en": 1.0}, {"en": 0.5, "fr": 0.5})
+        assert psi == pytest.approx(reverse)
+
     def test_compare_windows_alarm_paths(self):
         current, baseline = SourceStats(), SourceStats()
         for _ in range(30):

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import numpy as np
 import pytest
@@ -420,3 +421,124 @@ class TestServeParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--model", "m.npz", "--sharding", "nope"])
         capsys.readouterr()
+
+
+class TestEnsembleCLI:
+    @pytest.fixture()
+    def ensemble_model(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        model_path = tmp_path / "ensemble.npz"
+        priors_path = tmp_path / "priors.json"
+        main(
+            [
+                "generate-corpus",
+                "--languages", "en,fr",
+                "--docs-per-language", "4",
+                "--words-per-document", "150",
+                "--seed", "3",
+                "--output", str(corpus_dir),
+            ]
+        )
+        # the payload `repro analyze --priors` writes from live traffic
+        priors_path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.analytics.priors/v1",
+                    "sources": {"wire": {"languages": {"en": 0.9, "fr": 0.1}}},
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(model_path),
+                "--profile-size", "800",
+                "--backend", "ensemble",
+                "--members", "bloom,exact",
+                "--min-ngrams", "3",
+                "--priors", str(priors_path),
+            ]
+        ) == 0
+        return corpus_dir, model_path
+
+    def test_members_cannot_include_the_ensemble_itself(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--corpus", "c", "--output", "o",
+                 "--backend", "ensemble", "--members", "bloom,ensemble"]
+            )
+        assert "member" in capsys.readouterr().err
+
+    def test_train_reports_members_and_priors(self, ensemble_model, capsys):
+        # re-train to capture the summary line (the fixture swallowed it)
+        corpus_dir, model_path = ensemble_model
+        assert main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(model_path),
+                "--profile-size", "800",
+                "--backend", "ensemble",
+                "--members", "bloom,exact",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ensemble members=bloom,exact" in output
+        assert "calibrated=True" in output
+
+    def test_classify_with_source_tag(self, ensemble_model, capsys):
+        corpus_dir, model_path = ensemble_model
+        en_file = sorted((corpus_dir / "en").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(
+            ["classify", "--model", str(model_path),
+             "--source", "wire", str(en_file)]
+        ) == 0
+        assert ": en" in capsys.readouterr().out
+
+    def test_classify_gated_document_prints_abstention(
+        self, ensemble_model, tmp_path, capsys
+    ):
+        _, model_path = ensemble_model
+        stub = tmp_path / "stub.txt"
+        stub.write_text("okay", encoding="latin-1")
+        capsys.readouterr()
+        assert main(["classify", "--model", str(model_path), str(stub)]) == 0
+        output = capsys.readouterr().out
+        assert ": und" in output and "abstained=too_short" in output
+
+    def test_classify_priors_require_prior_aware_backend(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        model_path = tmp_path / "model.npz"
+        priors_path = tmp_path / "priors.json"
+        main(
+            [
+                "generate-corpus",
+                "--languages", "en,fr",
+                "--docs-per-language", "4",
+                "--words-per-document", "150",
+                "--seed", "3",
+                "--output", str(corpus_dir),
+            ]
+        )
+        main(
+            [
+                "train",
+                "--corpus", str(corpus_dir),
+                "--output", str(model_path),
+                "--profile-size", "800",
+            ]
+        )
+        priors_path.write_text(
+            json.dumps({"schema": "repro.analytics.priors/v1", "sources": {}}),
+            encoding="utf-8",
+        )
+        en_file = sorted((corpus_dir / "en").glob("*.txt"))[0]
+        capsys.readouterr()
+        assert main(
+            ["classify", "--model", str(model_path),
+             "--priors", str(priors_path), str(en_file)]
+        ) == 2
+        assert "prior-aware" in capsys.readouterr().err

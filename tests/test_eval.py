@@ -302,6 +302,39 @@ class TestCalibration:
         with pytest.raises(ValueError):
             ConfidenceCalibrator(np.asarray([0.5, 0.2]), np.asarray([0.1, 0.9]))
 
+    def test_all_misclassified_fit_is_the_documented_constant_zero(self):
+        # accuracy never increases with confidence, so pool-adjacent-violators
+        # legitimately pools every bin into one point: the explicit constant
+        # map onto the overall accuracy (0.0), not np.interp's incidental
+        # one-point behaviour
+        calibrator = ConfidenceCalibrator.fit([0.1, 0.5, 0.9], [False, False, False])
+        assert calibrator.is_constant
+        grid = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_array_equal(calibrator(grid), np.zeros(11))
+        assert calibrator.calibrate_one(0.73) == 0.0
+
+    def test_all_correct_fit_is_the_constant_one(self):
+        calibrator = ConfidenceCalibrator.fit([0.1, 0.5, 0.9], [True, True, True])
+        assert calibrator.is_constant
+        np.testing.assert_array_equal(calibrator(np.linspace(0, 1, 5)), np.ones(5))
+
+    def test_perfectly_separated_fit_keeps_both_extremes(self):
+        # wrong at low confidence, right at high confidence: no pooling
+        # happens, the map spans [0, 1], and it is NOT a constant
+        confidences = [0.05, 0.1, 0.15, 0.85, 0.9, 0.95]
+        correct = [False, False, False, True, True, True]
+        calibrator = ConfidenceCalibrator.fit(confidences, correct)
+        assert not calibrator.is_constant
+        assert calibrator.calibrate_one(0.0) == pytest.approx(0.0)
+        assert calibrator.calibrate_one(1.0) == pytest.approx(1.0)
+        assert calibrator.calibrate_one(0.05) < calibrator.calibrate_one(0.95)
+
+    def test_constant_fit_survives_serialisation(self):
+        calibrator = ConfidenceCalibrator.fit([0.2, 0.8], [False, False])
+        restored = ConfidenceCalibrator.from_dict(calibrator.to_dict())
+        assert restored.is_constant
+        assert restored.calibrate_one(0.5) == calibrator.calibrate_one(0.5)
+
 
 # ------------------------------------------------------------------ matrix
 

@@ -45,7 +45,7 @@ GOLDEN_CORPUS_SEED = 1234
 GOLDEN_SPLIT = (0.25, 99)
 GOLDEN_NOISE_SEED = 5
 GOLDEN_LENGTHS = (15, 60, 200)
-GOLDEN_BACKENDS = ("bloom", "exact", "mguesser")
+GOLDEN_BACKENDS = ("bloom", "exact", "mguesser", "ensemble")
 GOLDEN_CONFIG = dict(m_bits=16 * 1024, k=4, t=1500, seed=0)
 
 

@@ -268,12 +268,12 @@ class TestSwapHygiene:
             direct_blue = identifier.classify_batch(texts)
             original_call = pool._call
 
-            def failing_call(index, op, payload, contexts=None):
+            def failing_call(index, op, payload, contexts=None, sources=None):
                 # worker 0 swaps to green, then worker 1's swap fails; the
                 # rollback swap back to blue must still be allowed through
                 if op == "swap" and index == 1 and payload != blue:
                     raise RuntimeError("injected swap failure")
-                return original_call(index, op, payload, contexts)
+                return original_call(index, op, payload, contexts, sources)
 
             pool._call = failing_call
             try:

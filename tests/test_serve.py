@@ -53,6 +53,51 @@ class TestResultCache:
             language=language, match_counts={"en": count, "fr": 1}, ngram_count=10
         )
 
+    def test_every_result_field_round_trips_through_the_cache(self):
+        """Auto-failing guard against hard-coded copy constructors.
+
+        Builds a result with *every* declared field set to a non-default
+        sentinel (generically, via ``dataclasses.fields``), so the moment a
+        field is added to ``ClassificationResult`` without being carried
+        through the cache's defensive copy, this test fails — the historical
+        bug was a 3-field constructor that silently dropped everything newer.
+        """
+        import dataclasses
+
+        sentinels = {
+            "str": "xx",
+            "int": 7,
+            "float": 0.25,
+            "dict[str, int]": {"en": 3, "fr": 1},
+            "dict[str, dict]": {"bloom": {"language": "en", "weight": 0.5}},
+        }
+        kwargs = {}
+        for field in dataclasses.fields(ClassificationResult):
+            if not field.init:
+                continue
+            base = field.type.replace(" | None", "")
+            assert base in sentinels, (
+                f"no cache round-trip sentinel for new field "
+                f"{field.name!r}: {field.type!r} — extend this test AND check "
+                "_defensive_copy handles it"
+            )
+            kwargs[field.name] = sentinels[base]
+        original = ClassificationResult(**kwargs)
+        cache = ResultCache(4)
+        digest = text_digest("all fields")
+        cache.put(digest, original)
+        hit = cache.get(digest)
+        for field in dataclasses.fields(ClassificationResult):
+            assert getattr(hit, field.name) == getattr(original, field.name), (
+                f"field {field.name!r} was dropped or altered by the cache"
+            )
+        # nested containers are independent copies, not shared references
+        hit.member_votes["bloom"]["language"] = "corrupted"
+        hit.match_counts["en"] = 999
+        replay = cache.get(digest)
+        assert replay.member_votes == original.member_votes
+        assert replay.match_counts == original.match_counts
+
     def test_hit_returns_equal_but_independent_result(self):
         cache = ResultCache(4)
         digest = text_digest("hello world")
